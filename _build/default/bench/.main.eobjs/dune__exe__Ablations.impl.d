@@ -1,0 +1,1 @@
+bench/ablations.ml: Array Float List Option Pp_core Pp_instrument Pp_machine Pp_vm Pp_workloads Printf Runs

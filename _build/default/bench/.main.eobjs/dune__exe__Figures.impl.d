@@ -1,0 +1,1 @@
+bench/figures.ml: Array Format List Pp_core Pp_graph Pp_instrument Pp_ir Pp_vm Printf String

@@ -1,0 +1,1 @@
+bench/hall.ml: Array Hashtbl List Option Pp_instrument Pp_ir Pp_vm Pp_workloads Printf Runs

@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Figures Hall List Micro Printf Sampling Sys Tables

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Hashtbl Instance List Measure Pp_core Pp_instrument Pp_ir Pp_machine Printf Staged Test Time Toolkit

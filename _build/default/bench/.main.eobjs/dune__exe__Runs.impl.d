@@ -1,0 +1,1 @@
+bench/runs.ml: Hashtbl List Pp_core Pp_instrument Pp_ir Pp_machine Pp_vm Pp_workloads Printf

@@ -1,0 +1,1 @@
+bench/sampling.ml: Array Float Hashtbl List Option Pp_core Pp_instrument Pp_machine Pp_vm Pp_workloads Printf Runs

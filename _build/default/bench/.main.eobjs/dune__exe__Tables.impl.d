@@ -1,0 +1,1 @@
+bench/tables.ml: List Pp_core Pp_machine Pp_workloads Printf Runs

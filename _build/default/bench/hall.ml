@@ -1,0 +1,105 @@
+(* 7.2 comparison: Hall's call-path profiling (ICSE'92).
+
+   Hall instruments one call-graph level at a time and re-executes the
+   program for each level, keeping per-run overhead low at the price of
+   many runs (and of requiring reproducible behaviour).  The CCT gets
+   complete context data in one run.  This bench performs Hall's iteration
+   with selective instrumentation and compares total simulated work. *)
+
+module W = Pp_workloads.Workload
+module Registry = Pp_workloads.Registry
+module Interp = Pp_vm.Interp
+module Driver = Pp_instrument.Driver
+module Instrument = Pp_instrument.Instrument
+module Program = Pp_ir.Program
+module Proc = Pp_ir.Proc
+module I = Pp_ir.Instr
+
+let heading title = Printf.printf "\n==== %s ====\n\n" title
+
+(* Static call-graph levels by BFS from main.  Indirect calls go to every
+   address-taken procedure. *)
+let call_levels (prog : Program.t) =
+  let address_taken =
+    Array.to_list prog.Program.procs
+    |> List.concat_map (fun (p : Proc.t) ->
+           let acc = ref [] in
+           Proc.iter_instrs
+             (fun _ instr ->
+               match instr with
+               | I.Iconst_sym (_, sym) ->
+                   if Program.find_proc prog sym <> None then
+                     acc := sym :: !acc
+               | _ -> ())
+             p;
+           !acc)
+    |> List.sort_uniq compare
+  in
+  let callees (p : Proc.t) =
+    let direct = ref [] in
+    let indirect = ref false in
+    Proc.iter_instrs
+      (fun _ instr ->
+        match instr with
+        | I.Call { callee; _ } -> direct := callee :: !direct
+        | I.Callind _ -> indirect := true
+        | _ -> ())
+      p;
+    List.sort_uniq compare
+      (!direct @ if !indirect then address_taken else [])
+  in
+  let visited = Hashtbl.create 16 in
+  let rec bfs level frontier acc =
+    if frontier = [] then List.rev acc
+    else begin
+      List.iter (fun p -> Hashtbl.replace visited p ()) frontier;
+      let next =
+        List.concat_map
+          (fun name -> callees (Program.proc_exn prog name))
+          frontier
+        |> List.sort_uniq compare
+        |> List.filter (fun p -> not (Hashtbl.mem visited p))
+      in
+      bfs (level + 1) next (frontier :: acc)
+    end
+  in
+  bfs 0 [ prog.Program.main ] []
+
+let run () =
+  heading
+    "7.2 comparison: Hall's iterative call-path profiling vs one CCT run \
+     (simulated cycles)";
+  List.iter
+    (fun name ->
+      let w = Option.get (Registry.find name) in
+      let prog = Runs.program_of w in
+      let base = (Runs.get w Runs.Base).Runs.cycles in
+      (* One full CCT run. *)
+      let cct_cycles = (Runs.get w Runs.Context_hw).Runs.cycles in
+      (* Hall: one re-execution per call-graph level, instrumenting only
+         that level. *)
+      let levels = call_levels prog in
+      let total_hall =
+        List.fold_left
+          (fun acc level ->
+            let options =
+              { Instrument.default_options with Instrument.only = Some level }
+            in
+            let session =
+              Driver.prepare ~options ~max_instructions:Runs.budget
+                ~mode:Instrument.Context_hw prog
+            in
+            let r = Driver.run session in
+            acc + r.Interp.cycles)
+          0 levels
+      in
+      Printf.printf
+        "  %-14s levels=%d   Hall total %.1fx base   one CCT run %.1fx base\n"
+        name (List.length levels)
+        (float_of_int total_hall /. float_of_int base)
+        (float_of_int cct_cycles /. float_of_int base))
+    [ "vortex_like"; "li_like"; "gcc_like"; "tomcatv_like" ];
+  Printf.printf
+    "\n  Hall's per-run overhead is small but it re-executes the program \
+     once per call-graph level\n  (and needs reproducible runs); the CCT \
+     collects every context in a single execution.\n"

@@ -1,0 +1,64 @@
+(* The benchmark harness: regenerates every table and figure of PLDI'97
+   plus the DESIGN.md ablations.
+
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe -- list    -- available targets
+     dune exec bench/main.exe -- table1 figure4 ...                       *)
+
+let targets : (string * string * (unit -> unit)) list =
+  [
+    ("figure1", "edge labelling and path sums (Fig. 1)", Figures.figure1);
+    ("figure2", "the labelling phase (Fig. 2)", Figures.figure2);
+    ("figure3", "metric instrumentation listing (Fig. 3)", Figures.figure3);
+    ("figure4", "DCT vs DCG vs CCT (Fig. 4)", Figures.figure4);
+    ("figure5", "recursion backedges (Fig. 5)", Figures.figure5);
+    ("figure7", "call records in memory (Figs. 6/7)", Figures.figure7);
+    ("table1", "profiling overhead (Table 1)", Tables.table1);
+    ("table2", "metric perturbation (Table 2)", Tables.table2);
+    ("table3", "CCT statistics (Table 3)", Tables.table3);
+    ("table4", "D-cache misses by path (Table 4)", Tables.table4);
+    ("table5", "D-cache misses by procedure (Table 5)", Tables.table5);
+    ("implications", "paths through hot blocks (6.4.3)", Tables.implications);
+    ("ablation_hash", "A1: array vs hash counters", Ablations.ablation_hash);
+    ("ablation_sites", "A2: call-site discrimination",
+     Ablations.ablation_sites);
+    ( "ablation_saverestore",
+      "A3: save/restore placement",
+      Ablations.ablation_saverestore );
+    ("ablation_backedge", "A4: backedge reads", Ablations.ablation_backedge);
+    ( "ablation_placement",
+      "simple vs chord placement",
+      Ablations.ablation_placement );
+    ( "ablation_edge",
+      "edge vs path profiling overhead (BL94)",
+      Ablations.ablation_edge );
+    ("sampling", "stack sampling vs CCT (7.2)", Sampling.run);
+    ("hall", "Hall iterative call-path profiling vs CCT (7.2)", Hall.run);
+    ("micro", "bechamel micro-benchmarks", Micro.run);
+  ]
+
+let list_targets () =
+  print_endline "targets:";
+  List.iter
+    (fun (name, doc, _) -> Printf.printf "  %-22s %s\n" name doc)
+    targets
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "list" ] -> list_targets ()
+  | [] ->
+      print_endline
+        "Reproducing the tables and figures of 'Exploiting Hardware \
+         Performance Counters with Flow and Context Sensitive Profiling' \
+         (PLDI 1997) on the simulated UltraSPARC.";
+      List.iter (fun (_, _, f) -> f ()) targets
+  | names ->
+      List.iter
+        (fun name ->
+          match List.find_opt (fun (n, _, _) -> n = name) targets with
+          | Some (_, _, f) -> f ()
+          | None ->
+              Printf.eprintf "unknown target %S; try 'list'\n" name;
+              exit 1)
+        names

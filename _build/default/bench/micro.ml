@@ -1,0 +1,99 @@
+(* Bechamel micro-benchmarks: one Test.make per table, timing the machinery
+   that regenerates it (the profiling primitives themselves, not the
+   simulated workloads). *)
+
+open Bechamel
+open Toolkit
+module Ball_larus = Pp_core.Ball_larus
+module Cct = Pp_core.Cct
+module Ex = Pp_core.Paper_examples
+module Hotpath = Pp_core.Hotpath
+module Profile = Pp_core.Profile
+module Machine = Pp_machine.Machine
+module Config = Pp_machine.Config
+
+(* Table 1 regenerates overhead numbers by instrumenting and running
+   programs: time whole-program instrumentation. *)
+let test_table1 =
+  let prog = Ex.figure1_program () in
+  Test.make ~name:"table1: instrument program (flow+hw)"
+    (Staged.stage (fun () ->
+         ignore
+           (Pp_instrument.Instrument.run
+              ~mode:Pp_instrument.Instrument.Flow_hw prog)))
+
+(* Table 2 is produced by the machine model counting events: time the
+   D-cache/counter fast path. *)
+let test_table2 =
+  let machine = Machine.create Config.default in
+  let addr = ref 0 in
+  Test.make ~name:"table2: machine load event"
+    (Staged.stage (fun () ->
+         addr := (!addr + 8) land 0xFFFF;
+         Machine.load machine ~addr:(0x20000 + !addr)))
+
+(* Table 3 is about CCT construction: time an enter/exit pair. *)
+let test_table3 =
+  let cct = Cct.create ~make_data:(fun ~proc:_ ~nsites:_ -> ()) () in
+  ignore (Cct.enter cct ~proc:"main" ~nsites:4 ~site:0 ~kind:Cct.Direct);
+  Test.make ~name:"table3: cct enter/exit"
+    (Staged.stage (fun () ->
+         ignore
+           (Cct.enter cct ~proc:"leaf" ~nsites:1 ~site:1 ~kind:Cct.Direct);
+         Cct.exit cct))
+
+(* Tables 4/5 decode paths and classify: time numbering + decode. *)
+let test_table4 =
+  let bl = Ball_larus.build (Pp_ir.Cfg.of_proc (Ex.figure1_proc ())) in
+  let n = Ball_larus.num_paths bl in
+  let i = ref 0 in
+  Test.make ~name:"table4: decode path sum"
+    (Staged.stage (fun () ->
+         i := (!i + 1) mod n;
+         ignore (Ball_larus.decode bl !i)))
+
+let test_table5 =
+  (* Classification over a synthetic profile. *)
+  let bl = Ball_larus.build (Pp_ir.Cfg.of_proc (Ex.figure1_proc ())) in
+  let paths =
+    List.init (Ball_larus.num_paths bl) (fun i ->
+        (i, { Profile.freq = i + 1; m0 = (i * 37) mod 101; m1 = 100 + i }))
+  in
+  let profile =
+    {
+      Profile.pic0 = Pp_machine.Event.Dcache_misses;
+      pic1 = Pp_machine.Event.Instructions;
+      procs = [ { Profile.proc = "fig1"; numbering = bl; paths } ];
+    }
+  in
+  Test.make ~name:"table5: classify procedures"
+    (Staged.stage (fun () -> ignore (Hotpath.classify_procs profile)))
+
+let all_tests =
+  [ test_table1; test_table2; test_table3; test_table4; test_table5 ]
+
+let run () =
+  Printf.printf "\n==== Bechamel micro-benchmarks (one per table) ====\n\n";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let grouped = Test.make_grouped ~name:"tables" ~fmt:"%s %s" all_tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun measure table ->
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] ->
+              Printf.printf "  %-45s %12.1f %s/run\n" name est measure
+          | Some _ | None -> Printf.printf "  %-45s (no estimate)\n" name)
+        table)
+    merged

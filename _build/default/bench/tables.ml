@@ -1,0 +1,313 @@
+(* Regeneration of the paper's Tables 1-5 from the simulated runs. *)
+
+module W = Pp_workloads.Workload
+module Event = Pp_machine.Event
+module Report = Pp_core.Report
+module Hotpath = Pp_core.Hotpath
+module Cct_stats = Pp_core.Cct_stats
+
+let heading title =
+  Printf.printf "\n==== %s ====\n\n" title
+
+let fsafe num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
+
+(* --- Table 1: run-time overhead --- *)
+
+let table1_rows workloads =
+  List.map
+    (fun (w : W.t) ->
+      let base = Runs.get w Runs.Base in
+      let fhw = Runs.get w Runs.Flow_hw in
+      let chw = Runs.get w Runs.Context_hw in
+      let cfl = Runs.get w Runs.Context_flow in
+      let ov m = fsafe m.Runs.cycles base.Runs.cycles in
+      (w, base.Runs.cycles, ov fhw, ov chw, ov cfl))
+    workloads
+
+let avg_row label rows =
+  let avg f = Report.mean (List.map f rows) in
+  `Row
+    [
+      label;
+      "";
+      Report.ratio (avg (fun (_, _, a, _, _) -> a));
+      Report.ratio (avg (fun (_, _, _, b, _) -> b));
+      Report.ratio (avg (fun (_, _, _, _, c) -> c));
+    ]
+
+let table1 () =
+  heading
+    "Table 1: Overhead of profiling (simulated cycles, x base)";
+  let render rows =
+    List.map
+      (fun ((w : W.t), base, a, b, c) ->
+        `Row
+          [
+            w.W.name;
+            Report.sci base;
+            Report.ratio a;
+            Report.ratio b;
+            Report.ratio c;
+          ])
+      rows
+  in
+  let cint = table1_rows Runs.cint in
+  let cfp = table1_rows Runs.cfp in
+  print_string
+    (Report.render
+       ~columns:
+         [
+           ("Benchmark", Report.Left);
+           ("Base cycles", Report.Right);
+           ("Flow+HW", Report.Right);
+           ("Context+HW", Report.Right);
+           ("Context+Flow", Report.Right);
+         ]
+       ~rows:
+         (render cint
+         @ [ avg_row "CINT avg" cint; `Sep ]
+         @ render cfp
+         @ [ avg_row "CFP avg" cfp; `Sep; avg_row "SPEC avg" (cint @ cfp) ]))
+
+(* --- Table 2: perturbation of hardware metrics --- *)
+
+let table2_metrics =
+  [
+    ("Cycles", Event.Cycles);
+    ("Insts", Event.Instructions);
+    ("DC rd miss", Event.Dcache_read_misses);
+    ("DC wr miss", Event.Dcache_write_misses);
+    ("IC miss", Event.Icache_misses);
+    ("Mispred stall", Event.Mispredict_stalls);
+    ("StoreBuf stall", Event.Store_buffer_stalls);
+    ("FP stall", Event.Fp_stalls);
+  ]
+
+let table2 () =
+  heading
+    "Table 2: Perturbation (metric under instrumentation / uninstrumented; \
+     F = flow sensitive, C = context sensitive)";
+  let row (w : W.t) =
+    let base = Runs.get w Runs.Base in
+    let fhw = Runs.get w Runs.Flow_hw in
+    let chw = Runs.get w Runs.Context_hw in
+    let cells =
+      List.concat_map
+        (fun (_, e) ->
+          let b = Runs.counter base e in
+          let cell v =
+            if b > 0 then Printf.sprintf "%.2f" (fsafe v b)
+            else if v > 0 then "inf"
+            else "-"
+          in
+          [ cell (Runs.counter fhw e); cell (Runs.counter chw e) ])
+        table2_metrics
+    in
+    `Row (w.W.name :: cells)
+  in
+  let columns =
+    ("Benchmark", Report.Left)
+    :: List.concat_map
+         (fun (name, _) -> [ (name ^ " F", Report.Right); ("C", Report.Right) ])
+         table2_metrics
+  in
+  let avg_cells workloads =
+    List.concat_map
+      (fun (_, e) ->
+        let ratios which =
+          List.filter_map
+            (fun w ->
+              let b = Runs.counter (Runs.get w Runs.Base) e in
+              if b = 0 then None
+              else
+                Some (fsafe (Runs.counter (Runs.get w which) e) b))
+            workloads
+        in
+        [
+          Printf.sprintf "%.2f" (Report.mean (ratios Runs.Flow_hw));
+          Printf.sprintf "%.2f" (Report.mean (ratios Runs.Context_hw));
+        ])
+      table2_metrics
+  in
+  print_string
+    (Report.render ~columns
+       ~rows:
+         (List.map row Runs.cint
+         @ [ `Row ("CINT avg" :: avg_cells Runs.cint); `Sep ]
+         @ List.map row Runs.cfp
+         @ [
+             `Row ("CFP avg" :: avg_cells Runs.cfp);
+             `Sep;
+             `Row ("SPEC avg" :: avg_cells Runs.all);
+           ]))
+
+(* --- Table 3: CCT statistics --- *)
+
+let table3 () =
+  heading
+    "Table 3: CCT with intraprocedural path information (Context+Flow)";
+  let row (w : W.t) =
+    let m = Runs.get w Runs.Context_flow in
+    match m.Runs.cct_summary with
+    | None -> `Row [ w.W.name; "-" ]
+    | Some { stats; one_path_sites; prof_bytes } ->
+        `Row
+          [
+            w.W.name;
+            Report.sci prof_bytes;
+            string_of_int stats.Cct_stats.nodes;
+            Printf.sprintf "%.1f" stats.Cct_stats.avg_node_size;
+            Printf.sprintf "%.1f" stats.Cct_stats.avg_out_degree;
+            Printf.sprintf "%.1f" stats.Cct_stats.height_avg;
+            string_of_int stats.Cct_stats.height_max;
+            string_of_int stats.Cct_stats.max_replication;
+            string_of_int stats.Cct_stats.call_sites_total;
+            string_of_int stats.Cct_stats.call_sites_used;
+            string_of_int one_path_sites;
+          ]
+  in
+  print_string
+    (Report.render
+       ~columns:
+         [
+           ("Benchmark", Report.Left);
+           ("Size(B)", Report.Right);
+           ("Nodes", Report.Right);
+           ("AvgNode(B)", Report.Right);
+           ("AvgOutDeg", Report.Right);
+           ("HtAvg", Report.Right);
+           ("HtMax", Report.Right);
+           ("MaxRepl", Report.Right);
+           ("Sites", Report.Right);
+           ("Used", Report.Right);
+           ("OnePath", Report.Right);
+         ]
+       ~rows:
+         (List.map row Runs.cint @ [ `Sep ] @ List.map row Runs.cfp));
+  Printf.printf
+    "\nSize(B) counts profiling bytes actually allocated (records + \
+     per-record path tables + hash buckets);\nAvgNode(B) uses the paper's \
+     Figure-7 4-byte-cell record model; HtAvg is the mean leaf depth;\n\
+     OnePath counts used call sites reached by exactly one intraprocedural \
+     path in their context (6.3).\n"
+
+(* --- Tables 4 and 5: L1 D-cache misses by path / by procedure --- *)
+
+let profile_of w =
+  match (Runs.get w Runs.Flow_hw).Runs.profile with
+  | Some p -> p
+  | None -> failwith "flow profile missing"
+
+let class_cells (all : Hotpath.class_stats) (c : Hotpath.class_stats) =
+  [
+    string_of_int c.Hotpath.num;
+    Report.pct (fsafe c.Hotpath.insts all.Hotpath.insts);
+    Report.pct (fsafe c.Hotpath.misses all.Hotpath.misses);
+  ]
+
+let table4_row ?(threshold = 0.01) (w : W.t) =
+  let t = Hotpath.classify_paths ~threshold (profile_of w) in
+  `Row
+    ([
+       w.W.name;
+       string_of_int t.Hotpath.all.Hotpath.num;
+       Report.sci t.Hotpath.all.Hotpath.insts;
+       Report.sci t.Hotpath.all.Hotpath.misses;
+     ]
+    @ class_cells t.Hotpath.all t.Hotpath.dense
+    @ class_cells t.Hotpath.all t.Hotpath.sparse
+    @ class_cells t.Hotpath.all t.Hotpath.cold)
+
+let table4 () =
+  heading
+    "Table 4: L1 D-cache misses by path (hot >= 1% of misses; dense = \
+     above-average miss ratio)";
+  let columns =
+    [
+      ("Benchmark", Report.Left);
+      ("Paths", Report.Right);
+      ("Insts", Report.Right);
+      ("Misses", Report.Right);
+      ("Dense", Report.Right);
+      ("I%", Report.Right);
+      ("M%", Report.Right);
+      ("Sparse", Report.Right);
+      ("I%", Report.Right);
+      ("M%", Report.Right);
+      ("Cold", Report.Right);
+      ("I%", Report.Right);
+      ("M%", Report.Right);
+    ]
+  in
+  print_string
+    (Report.render ~columns
+       ~rows:
+         (List.map table4_row Runs.cint
+         @ [ `Sep ]
+         @ List.map table4_row Runs.cfp));
+  (* The paper's second experiment: a 0.1% threshold for the path-rich
+     pair. *)
+  Printf.printf
+    "\nWith threshold lowered to 0.1%% for the path-rich analogues:\n\n";
+  print_string
+    (Report.render ~columns
+       ~rows:
+         (List.filter_map
+            (fun (w : W.t) ->
+              if w.W.name = "go_like" || w.W.name = "gcc_like" then
+                Some (table4_row ~threshold:0.001 w)
+              else None)
+            Runs.all))
+
+let proc_cells (s : Hotpath.proc_class_stats) =
+  [
+    string_of_int s.Hotpath.procs;
+    Printf.sprintf "%.1f" s.Hotpath.avg_paths_per_proc;
+    Report.pct s.Hotpath.miss_fraction;
+  ]
+
+let table5 () =
+  heading "Table 5: L1 D-cache misses by procedure";
+  let row (w : W.t) =
+    let t = Hotpath.classify_procs (profile_of w) in
+    `Row
+      (w.W.name
+       :: (proc_cells t.Hotpath.dense_procs
+          @ proc_cells t.Hotpath.sparse_procs
+          @ proc_cells t.Hotpath.cold_procs))
+  in
+  print_string
+    (Report.render
+       ~columns:
+         [
+           ("Benchmark", Report.Left);
+           ("Dense", Report.Right);
+           ("Path/Proc", Report.Right);
+           ("Miss%", Report.Right);
+           ("Sparse", Report.Right);
+           ("Path/Proc", Report.Right);
+           ("Miss%", Report.Right);
+           ("Cold", Report.Right);
+           ("Path/Proc", Report.Right);
+           ("Miss%", Report.Right);
+         ]
+       ~rows:(List.map row Runs.cint @ [ `Sep ] @ List.map row Runs.cfp))
+
+(* --- §6.4.3: blocks on hot paths execute along many paths --- *)
+
+let implications () =
+  heading
+    "Implications for profiling (6.4.3): executed paths through blocks on \
+     hot paths";
+  List.iter
+    (fun (w : W.t) ->
+      let avg = Hotpath.avg_paths_through_hot_blocks (profile_of w) in
+      Printf.printf "  %-14s %6.1f paths per hot-path block\n" w.W.name avg)
+    Runs.all;
+  let grand =
+    Report.mean
+      (List.map
+         (fun w -> Hotpath.avg_paths_through_hot_blocks (profile_of w))
+         Runs.all)
+  in
+  Printf.printf "  %-14s %6.1f (paper reports ~16)\n" "AVERAGE" grand

@@ -1,0 +1,406 @@
+(* pp — the command-line face of the profiler, loosely the role the PP tool
+   played in the paper: compile (MiniC instead of editing SPARC binaries),
+   instrument, execute on the simulated UltraSPARC, and report.
+
+     pp run program.mc
+     pp profile program.mc --mode flow-hw --top 10
+     pp profile --workload compress_like --mode context-flow
+     pp paths program.mc
+     pp workloads                                                          *)
+
+open Cmdliner
+module Instrument = Pp_instrument.Instrument
+module Driver = Pp_instrument.Driver
+module Interp = Pp_vm.Interp
+module Event = Pp_machine.Event
+module Profile = Pp_core.Profile
+module Hotpath = Pp_core.Hotpath
+module Ball_larus = Pp_core.Ball_larus
+module Cct = Pp_core.Cct
+module Cct_stats = Pp_core.Cct_stats
+module Runtime = Pp_vm.Runtime
+module Registry = Pp_workloads.Registry
+module Cct_io = Pp_core.Cct_io
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load ~file ~workload =
+  match (file, workload) with
+  | Some path, None ->
+      let src = read_file path in
+      if Filename.check_suffix path ".ppir" then (
+        try
+          let prog = Pp_ir.Ir_text.parse src in
+          Pp_ir.Validate.run prog;
+          Ok prog
+        with
+        | Pp_ir.Ir_text.Parse_error (line, msg) ->
+            Error (Printf.sprintf "%s:%d: %s" path line msg)
+        | Pp_ir.Validate.Invalid msg -> Error msg)
+      else (
+        try Ok (Pp_minic.Compile.program ~name:path src) with
+        | Pp_minic.Errors.Error (pos, msg) ->
+            Error (Pp_minic.Errors.to_string ~file:path pos msg)
+        | Pp_ir.Validate.Invalid msg -> Error msg)
+  | None, Some name -> (
+      match Registry.find name with
+      | Some w -> Ok (Pp_workloads.Workload.compile w)
+      | None ->
+          Error
+            (Printf.sprintf "unknown workload %S; try 'pp workloads'" name))
+  | Some _, Some _ -> Error "give either a file or --workload, not both"
+  | None, None -> Error "a source file or --workload is required"
+
+let print_output (r : Interp.result) =
+  List.iter
+    (function
+      | Interp.Oint n -> Printf.printf "%d\n" n
+      | Interp.Ofloat x -> Printf.printf "%.6g\n" x)
+    r.Interp.output
+
+let print_counters (r : Interp.result) =
+  Printf.printf "\n-- counters --\n";
+  List.iter
+    (fun (e, v) -> Printf.printf "%-18s %12d\n" (Event.name e) v)
+    r.Interp.counters
+
+(* --- common options --- *)
+
+let file =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE"
+         ~doc:"MiniC source file (.mc) or textual IR (.ppir).")
+
+let workload_opt =
+  Arg.(value & opt (some string) None
+       & info [ "workload"; "w" ] ~docv:"NAME"
+           ~doc:"Profile a built-in SPEC95-analogue workload instead of a \
+                 file.")
+
+let budget =
+  Arg.(value & opt int 400_000_000
+       & info [ "budget" ] ~docv:"N"
+           ~doc:"Maximum simulated instructions before trapping.")
+
+let exit_err msg =
+  Printf.eprintf "pp: %s\n" msg;
+  exit 1
+
+(* --- pp run --- *)
+
+let run_cmd =
+  let doc = "Execute a program uninstrumented and report its counters." in
+  let action file workload budget counters =
+    match load ~file ~workload with
+    | Error msg -> exit_err msg
+    | Ok prog -> (
+        match
+          Interp.run (Interp.create ~max_instructions:budget prog)
+        with
+        | r ->
+            print_output r;
+            Printf.printf "\n%d instructions, %d cycles\n" r.Interp.instructions
+              r.Interp.cycles;
+            if counters then print_counters r
+        | exception Interp.Trap msg -> exit_err ("trap: " ^ msg))
+  in
+  let counters =
+    Arg.(value & flag
+         & info [ "counters"; "c" ] ~doc:"Print all event counters.")
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const action $ file $ workload_opt $ budget $ counters)
+
+(* --- pp profile --- *)
+
+let mode_conv =
+  Arg.enum
+    [
+      ("edge-freq", Instrument.Edge_freq);
+      ("flow-freq", Instrument.Flow_freq);
+      ("flow-hw", Instrument.Flow_hw);
+      ("context-hw", Instrument.Context_hw);
+      ("context-flow", Instrument.Context_flow);
+    ]
+
+let event_conv =
+  let parse s =
+    match Event.of_name s with
+    | Some e -> Ok e
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown event %S (one of: %s)" s
+                (String.concat ", " (List.map Event.name Event.all))))
+  in
+  Arg.conv (parse, fun ppf e -> Format.pp_print_string ppf (Event.name e))
+
+let profile_flow ~top profile =
+  Format.printf "%a@."
+    Hotpath.pp_path_classes
+    (Hotpath.classify_paths profile);
+  Format.printf "@.by procedure:@.%a@." Hotpath.pp_proc_classes
+    (Hotpath.classify_procs profile);
+  Printf.printf "\ntop %d paths by %s:\n" top
+    (Event.name profile.Profile.pic0);
+  List.iteri
+    (fun i (proc, sum, (m : Profile.path_metrics)) ->
+      if i < top then
+        let p = Option.get (Profile.find_proc profile proc) in
+        Format.printf "  %2d. %-18s %s=%-9d freq=%-8d %a@." (i + 1)
+          (Printf.sprintf "%s#%d" proc sum)
+          (Event.name profile.Profile.pic0)
+          m.Profile.m0 m.Profile.freq Ball_larus.pp_path
+          (Profile.decode p sum))
+    (Hotpath.hot_paths ~threshold:0.0001 profile)
+
+let profile_cct ~top session =
+  let cct = Driver.cct session in
+  let stats = Cct_stats.compute ~metrics_per_node:2 cct in
+  Format.printf "%a@." Cct_stats.pp stats;
+  Printf.printf "\ntop %d contexts by pic0 delta:\n" top;
+  let nodes =
+    Cct.fold (fun acc n -> n :: acc) [] cct
+    |> List.filter (fun n -> Cct.parent n <> None)
+    |> List.sort (fun a b ->
+           compare (Cct.data b).Runtime.metrics.(1)
+             (Cct.data a).Runtime.metrics.(1))
+  in
+  List.iteri
+    (fun i node ->
+      if i < top then
+        let d = Cct.data node in
+        Printf.printf "  %2d. %-40s entries=%-8d pic0=%-9d pic1=%d\n" (i + 1)
+          (String.concat "." (Cct.context node))
+          d.Runtime.metrics.(0) d.Runtime.metrics.(1) d.Runtime.metrics.(2))
+    nodes
+
+(* Serialise the runtime CCT with its metric payload; the reload side uses
+   Cct_io.metrics_codec-compatible data. *)
+let cct_codec =
+  {
+    Cct_io.encode =
+      (fun (d : Runtime.record_data) ->
+        Cct_io.metrics_codec.Cct_io.encode d.Runtime.metrics);
+    decode =
+      (fun s ->
+        {
+          Runtime.addr = 0;
+          metrics = Cct_io.metrics_codec.Cct_io.decode s;
+          paths = Hashtbl.create 1;
+          ptable_addr = 0;
+        });
+  }
+
+let profile_cmd =
+  let doc =
+    "Instrument, execute on the simulated UltraSPARC, and report the \
+     profile."
+  in
+  let action file workload budget mode pic0 pic1 top cct_out dot_out =
+    match load ~file ~workload with
+    | Error msg -> exit_err msg
+    | Ok prog -> (
+        let session =
+          Driver.prepare ~max_instructions:budget ~pics:(pic0, pic1) ~mode
+            prog
+        in
+        match Driver.run session with
+        | exception Interp.Trap msg -> exit_err ("trap: " ^ msg)
+        | r ->
+            print_output r;
+            Printf.printf "\n%d instructions, %d cycles (instrumented, %s)\n"
+              r.Interp.instructions r.Interp.cycles
+              (Instrument.mode_name mode);
+            (match mode with
+            | Instrument.Flow_freq | Instrument.Flow_hw
+            | Instrument.Context_flow ->
+                profile_flow ~top (Driver.path_profile session)
+            | Instrument.Edge_freq ->
+                print_endline
+                  "\nedge profile (reconstructed from chord counters):";
+                List.iter
+                  (fun (proc, _plan, edges) ->
+                    let total =
+                      List.fold_left (fun acc (_, c) -> acc + c) 0 edges
+                    in
+                    let hottest =
+                      List.fold_left
+                        (fun acc (_, c) -> max acc c)
+                        0 edges
+                    in
+                    Printf.printf
+                      "  %-18s %9d traversals over %3d edges (hottest %d)\n"
+                      proc total (List.length edges) hottest)
+                  (Driver.edge_profile session)
+            | Instrument.Context_hw -> ());
+            (match mode with
+            | Instrument.Context_hw | Instrument.Context_flow ->
+                profile_cct ~top session;
+                let cct = Driver.cct session in
+                Option.iter
+                  (fun path ->
+                    Cct_io.to_file ~codec:cct_codec path cct;
+                    Printf.printf "\nwrote CCT to %s\n" path)
+                  cct_out;
+                Option.iter
+                  (fun path ->
+                    let oc = open_out path in
+                    output_string oc (Cct_io.to_dot cct);
+                    close_out oc;
+                    Printf.printf "wrote CCT dot graph to %s\n" path)
+                  dot_out
+            | Instrument.Edge_freq | Instrument.Flow_freq
+            | Instrument.Flow_hw ->
+                ()))
+  in
+  let mode =
+    Arg.(value & opt mode_conv Instrument.Flow_hw
+         & info [ "mode"; "m" ] ~docv:"MODE"
+             ~doc:"edge-freq, flow-freq, flow-hw, context-hw or \
+                   context-flow.")
+  in
+  let pic0 =
+    Arg.(value & opt event_conv Event.Dcache_misses
+         & info [ "pic0" ] ~docv:"EVENT" ~doc:"Event on counter 0.")
+  in
+  let pic1 =
+    Arg.(value & opt event_conv Event.Instructions
+         & info [ "pic1" ] ~docv:"EVENT" ~doc:"Event on counter 1.")
+  in
+  let top =
+    Arg.(value & opt int 10
+         & info [ "top"; "n" ] ~docv:"N" ~doc:"Rows to print.")
+  in
+  let cct_out =
+    Arg.(value & opt (some string) None
+         & info [ "cct-out" ] ~docv:"FILE"
+             ~doc:"Write the calling context tree to FILE (context modes; \
+                   the paper's write-heap-at-exit, reloadable with \
+                   Cct_io).")
+  in
+  let dot_out =
+    Arg.(value & opt (some string) None
+         & info [ "dot" ] ~docv:"FILE"
+             ~doc:"Write the CCT as a Graphviz graph (context modes).")
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(
+      const action $ file $ workload_opt $ budget $ mode $ pic0 $ pic1 $ top
+      $ cct_out $ dot_out)
+
+(* --- pp paths --- *)
+
+let paths_cmd =
+  let doc = "Static path-numbering report: potential paths per procedure." in
+  let action file workload dot_proc =
+    match load ~file ~workload with
+    | Error msg -> exit_err msg
+    | Ok prog ->
+        Array.iter
+          (fun (p : Pp_ir.Proc.t) ->
+            let cfg = Pp_ir.Cfg.of_proc p in
+            match Ball_larus.build cfg with
+            | bl ->
+                Printf.printf
+                  "%-20s blocks=%-4d backedges=%-3d potential paths=%d\n"
+                  p.Pp_ir.Proc.name (Pp_ir.Proc.num_blocks p)
+                  (List.length (Ball_larus.backedges bl))
+                  (Ball_larus.num_paths bl)
+            | exception Ball_larus.Unsupported msg ->
+                Printf.printf "%-20s unsupported: %s\n" p.Pp_ir.Proc.name msg)
+          prog.Pp_ir.Program.procs;
+        Option.iter
+          (fun name ->
+            match Pp_ir.Program.find_proc prog name with
+            | None -> exit_err (Printf.sprintf "no procedure %S" name)
+            | Some p ->
+                let cfg = Pp_ir.Cfg.of_proc p in
+                let bl = Ball_larus.build cfg in
+                print_string
+                  (Pp_graph.Dot.to_string cfg.Pp_ir.Cfg.graph ~name
+                     ~vertex_label:(Pp_ir.Cfg.vertex_name cfg)
+                     ~edge_label:(fun e ->
+                       if
+                         List.exists
+                           (fun (b : Pp_graph.Digraph.edge) ->
+                             b.Pp_graph.Digraph.id = e.Pp_graph.Digraph.id)
+                           (Ball_larus.backedges bl)
+                       then "backedge"
+                       else string_of_int (Ball_larus.edge_val bl e))))
+          dot_proc
+  in
+  let dot_proc =
+    Arg.(value & opt (some string) None
+         & info [ "dot" ] ~docv:"PROC"
+             ~doc:"Also print PROC's CFG as Graphviz, edges labelled with \
+                   their Ball-Larus values.")
+  in
+  Cmd.v (Cmd.info "paths" ~doc)
+    Term.(const action $ file $ workload_opt $ dot_proc)
+
+(* --- pp disasm --- *)
+
+let disasm_cmd =
+  let doc =
+    "Print a procedure's IR, optionally after instrumentation (what the \
+     editor actually inserted)."
+  in
+  let action file workload proc mode =
+    match load ~file ~workload with
+    | Error msg -> exit_err msg
+    | Ok prog ->
+        let prog =
+          match mode with
+          | None -> prog
+          | Some mode -> fst (Instrument.run ~mode prog)
+        in
+        let dump (p : Pp_ir.Proc.t) =
+          Format.printf "%a@.@." Pp_ir.Proc.pp p
+        in
+        (match proc with
+        | Some name -> (
+            match Pp_ir.Program.find_proc prog name with
+            | Some p -> dump p
+            | None -> exit_err (Printf.sprintf "no procedure %S" name))
+        | None -> Array.iter dump prog.Pp_ir.Program.procs)
+  in
+  let proc =
+    Arg.(value & opt (some string) None
+         & info [ "proc"; "p" ] ~docv:"NAME"
+             ~doc:"Only this procedure (default: all).")
+  in
+  let mode =
+    Arg.(value & opt (some mode_conv) None
+         & info [ "instrument"; "i" ] ~docv:"MODE"
+             ~doc:"Show the listing after instrumenting for MODE.")
+  in
+  Cmd.v (Cmd.info "disasm" ~doc)
+    Term.(const action $ file $ workload_opt $ proc $ mode)
+
+(* --- pp workloads --- *)
+
+let workloads_cmd =
+  let doc = "List the built-in SPEC95-analogue workloads." in
+  let action () =
+    List.iter
+      (fun (w : Pp_workloads.Workload.t) ->
+        Printf.printf "%-15s %-13s %s\n" w.Pp_workloads.Workload.name
+          w.Pp_workloads.Workload.spec_name
+          w.Pp_workloads.Workload.description)
+      Registry.all
+  in
+  Cmd.v (Cmd.info "workloads" ~doc) Term.(const action $ const ())
+
+let () =
+  let doc =
+    "flow and context sensitive profiling with (simulated) hardware \
+     performance counters"
+  in
+  let info = Cmd.info "pp" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+                    [ run_cmd; profile_cmd; paths_cmd; disasm_cmd;
+                      workloads_cmd ]))

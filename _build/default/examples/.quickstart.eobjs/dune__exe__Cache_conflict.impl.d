@@ -1,0 +1,1 @@
+examples/cache_conflict.ml: Format List Option Pp_core Pp_instrument Pp_machine Pp_minic Printf

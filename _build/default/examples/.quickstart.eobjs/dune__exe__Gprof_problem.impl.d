@@ -1,0 +1,1 @@
+examples/gprof_problem.ml: Array Pp_core Pp_instrument Pp_machine Pp_minic Pp_vm Printf

@@ -1,0 +1,1 @@
+examples/gprof_problem.mli:

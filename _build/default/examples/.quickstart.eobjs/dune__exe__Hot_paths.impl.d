@@ -1,0 +1,1 @@
+examples/hot_paths.ml: Array Format List Option Pp_core Pp_instrument Pp_machine Pp_vm Pp_workloads Printf String Sys

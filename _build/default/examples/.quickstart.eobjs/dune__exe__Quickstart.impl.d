@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Pp_core Pp_instrument Pp_machine Pp_minic Pp_vm Printf

@@ -1,0 +1,94 @@
+(* The paper's motivating example for flow sensitivity (1): "a flow
+   insensitive measurement might find two statements in a procedure that
+   have high cache miss rates, whereas a flow sensitive measurement could
+   show that the misses occur when the statements execute along a common
+   path, and thus are possibly due to a cache conflict."
+
+   Two arrays are laid out exactly one D-cache image apart, so a[i] and
+   b[i] map to the same set of the direct-mapped 16 KB cache.  The
+   procedure has two paths: one touches only a, the other touches both.
+   Statement-level counts blame both array accesses; the path profile shows
+   the misses belong to the both-arrays path alone — the conflict.
+
+     dune exec examples/cache_conflict.exe                                 *)
+
+module Instrument = Pp_instrument.Instrument
+module Driver = Pp_instrument.Driver
+module Event = Pp_machine.Event
+module Profile = Pp_core.Profile
+module Ball_larus = Pp_core.Ball_larus
+
+(* 16 KB cache / 8-byte words = 2048 words per cache image.  [a] and [b]
+   are 2048 words each and consecutive in the data segment, so a[i] and
+   b[i] collide in the direct-mapped cache. *)
+let source =
+  {|
+float a[2048];
+float b[2048];
+
+float scan(int use_both, int n) {
+  int i; float s;
+  s = 0.0;
+  for (i = 0; i < n; i = i + 1) {
+    if (use_both) {
+      s = s + a[i] + b[i];   // conflicting pair: a[i] evicts b[i]'s line
+    } else {
+      s = s + a[i] + a[i];   // same access count, no conflict
+    }
+  }
+  return s;
+}
+
+void main() {
+  int i;
+  for (i = 0; i < 2048; i = i + 1) { a[i] = 1.0; b[i] = 2.0; }
+  int round;
+  float total;
+  total = 0.0;
+  for (round = 0; round < 40; round = round + 1) {
+    total = total + scan(0, 2048);
+    total = total + scan(1, 2048);
+  }
+  print(total);
+}
+|}
+
+let () =
+  let program = Pp_minic.Compile.program ~name:"cache_conflict" source in
+  let session =
+    Driver.prepare
+      ~pics:(Event.Dcache_misses, Event.Instructions)
+      ~mode:Instrument.Flow_hw program
+  in
+  ignore (Driver.run session);
+  let profile = Driver.path_profile session in
+  let scan = Option.get (Profile.find_proc profile "scan") in
+  print_endline
+    "per-path D-cache misses in scan() — both paths execute the same\n\
+     number of loads; only the a[i]+b[i] path conflicts:\n";
+  List.iter
+    (fun (sum, (m : Profile.path_metrics)) ->
+      let path = Profile.decode scan sum in
+      let miss_rate =
+        1000.0 *. float_of_int m.Profile.m0 /. float_of_int (max 1 m.Profile.m1)
+      in
+      Format.printf
+        "  path %-3d freq=%-6d misses=%-8d insts=%-9d %5.1f misses/1k-insts\n\
+        \           %a@."
+        sum m.Profile.freq m.Profile.m0 m.Profile.m1 miss_rate
+        Ball_larus.pp_path path)
+    (Profile.ranked_paths scan);
+  (* Aggregate (flow-insensitive) view for contrast. *)
+  let total_m0 =
+    List.fold_left (fun acc (_, m) -> acc + m.Profile.m0) 0
+      scan.Profile.paths
+  in
+  let total_m1 =
+    List.fold_left (fun acc (_, m) -> acc + m.Profile.m1) 0
+      scan.Profile.paths
+  in
+  Printf.printf
+    "\nflow-INsensitive view of scan(): %d misses over %d instructions \
+     (%.1f/1k) — no clue which variant conflicts.\n"
+    total_m0 total_m1
+    (1000.0 *. float_of_int total_m0 /. float_of_int (max 1 total_m1))

@@ -1,0 +1,87 @@
+(* The gprof problem (PLDI'97 §4.1, [PF88]): gprof attributes a callee's
+   cost to callers in proportion to call counts, which is wrong whenever
+   cost depends on the caller.  The CCT records the truth.
+
+   Here both light_user and heavy_user call work() equally often, but
+   heavy_user asks for 64x more iterations.
+
+     dune exec examples/gprof_problem.exe                                  *)
+
+module Instrument = Pp_instrument.Instrument
+module Driver = Pp_instrument.Driver
+module Event = Pp_machine.Event
+module Cct = Pp_core.Cct
+module Runtime = Pp_vm.Runtime
+
+let source =
+  {|
+int sink;
+
+void work(int n) {
+  int i; int s;
+  s = 0;
+  for (i = 0; i < n; i = i + 1) { s = s + i * 3 % 17; }
+  sink = sink + s;
+}
+
+void light_user() { work(50); }
+void heavy_user() { work(3200); }
+
+void main() {
+  int r;
+  for (r = 0; r < 200; r = r + 1) {
+    light_user();
+    heavy_user();
+  }
+  print(sink);
+}
+|}
+
+let () =
+  let program = Pp_minic.Compile.program ~name:"gprof_problem" source in
+  let session =
+    Driver.prepare
+      ~pics:(Event.Dcache_misses, Event.Instructions)
+      ~mode:Instrument.Context_hw program
+  in
+  ignore (Driver.run session);
+  let cct = Driver.cct session in
+
+  (* Ground truth from the CCT: work()'s instruction deltas per context. *)
+  let insts_via ctx =
+    match Cct.find_context cct ctx with
+    | Some node -> (Cct.data node).Runtime.metrics.(2)
+    | None -> 0
+  in
+  let via_light = insts_via [ "main"; "light_user"; "work" ] in
+  let via_heavy = insts_via [ "main"; "heavy_user"; "work" ] in
+  Printf.printf "CCT ground truth for work() (instructions, inclusive):\n";
+  Printf.printf "  main.light_user.work : %9d\n" via_light;
+  Printf.printf "  main.heavy_user.work : %9d\n" via_heavy;
+
+  (* What gprof's rule reports: it only sees call counts (equal here) and
+     work()'s context-blind total, and splits the total in proportion. *)
+  let gprof = Pp_core.Gprof.create () in
+  Pp_core.Gprof.enter gprof ~proc:"main";
+  for _ = 1 to 200 do
+    Pp_core.Gprof.enter gprof ~proc:"light_user";
+    Pp_core.Gprof.enter gprof ~proc:"work";
+    Pp_core.Gprof.exit gprof ~cost:(via_light / 200);
+    Pp_core.Gprof.exit gprof ~cost:0;
+    Pp_core.Gprof.enter gprof ~proc:"heavy_user";
+    Pp_core.Gprof.enter gprof ~proc:"work";
+    Pp_core.Gprof.exit gprof ~cost:(via_heavy / 200);
+    Pp_core.Gprof.exit gprof ~cost:0
+  done;
+  Pp_core.Gprof.exit gprof ~cost:0;
+  let att caller = Pp_core.Gprof.attributed gprof ~caller ~callee:"work" in
+  Printf.printf
+    "\ngprof's frequency-proportional attribution of work()'s total:\n";
+  Printf.printf "  to light_user : %12.0f  (true: %d)\n" (att "light_user")
+    via_light;
+  Printf.printf "  to heavy_user : %12.0f  (true: %d)\n" (att "heavy_user")
+    via_heavy;
+  Printf.printf
+    "\ngprof overcharges the light caller by %.0fx; the CCT separates the \
+     contexts exactly.\n"
+    (att "light_user" /. float_of_int (max 1 via_light))

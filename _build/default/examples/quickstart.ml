@@ -1,0 +1,89 @@
+(* Quickstart: compile a MiniC program, instrument it for flow-sensitive
+   profiling with hardware metrics, run it on the simulated UltraSPARC and
+   print the hot paths.
+
+     dune exec examples/quickstart.exe                                     *)
+
+module Instrument = Pp_instrument.Instrument
+module Driver = Pp_instrument.Driver
+module Event = Pp_machine.Event
+module Profile = Pp_core.Profile
+module Ball_larus = Pp_core.Ball_larus
+
+let source =
+  {|
+int data[65536];
+
+// Two loops, hence two loop paths: a friendly sequential pass and a
+// cache-hostile strided pass.  The path profile tells them apart even
+// though both live in one procedure.
+int scan() {
+  int i; int s;
+  s = 0;
+  for (i = 0; i < 16384; i = i + 1) {
+    s = s + data[i];
+  }
+  for (i = 0; i < 16384; i = i + 1) {
+    s = s + data[i * 253 % 65536];
+  }
+  return s;
+}
+
+void main() {
+  int i;
+  for (i = 0; i < 65536; i = i + 1) { data[i] = i % 100; }
+  print(scan());
+}
+|}
+
+let () =
+  (* 1. Compile. *)
+  let program = Pp_minic.Compile.program ~name:"quickstart" source in
+
+  (* 2. Instrument for flow-sensitive profiling, with the PICs watching
+        L1 D-cache misses and instructions. *)
+  let session =
+    Driver.prepare
+      ~pics:(Event.Dcache_misses, Event.Instructions)
+      ~mode:Instrument.Flow_hw program
+  in
+
+  (* 3. Run on the simulated machine. *)
+  let result = Driver.run session in
+  print_endline "program output:";
+  List.iter
+    (function
+      | Pp_vm.Interp.Oint n -> Printf.printf "  %d\n" n
+      | Pp_vm.Interp.Ofloat x -> Printf.printf "  %g\n" x)
+    result.Pp_vm.Interp.output;
+  Printf.printf "\nsimulated: %d instructions, %d cycles\n"
+    result.Pp_vm.Interp.instructions result.Pp_vm.Interp.cycles;
+
+  (* 4. Extract the per-path profile and show each procedure's paths. *)
+  let profile = Driver.path_profile session in
+  print_endline "\nper-path profile (m0 = D-cache misses, m1 = insts):";
+  List.iter
+    (fun (p : Profile.proc_profile) ->
+      if p.Profile.paths <> [] && p.Profile.proc <> "main" then begin
+        Printf.printf "  %s:\n" p.Profile.proc;
+        List.iter
+          (fun (sum, (m : Profile.path_metrics)) ->
+            Format.printf "    path %d: freq=%-5d misses=%-6d insts=%-7d %a@."
+              sum m.Profile.freq m.Profile.m0 m.Profile.m1
+              Ball_larus.pp_path
+              (Profile.decode p sum))
+          (Profile.ranked_paths p)
+      end)
+    profile.Profile.procs;
+
+  (* 5. The headline: the strided loop's path carries almost all the
+        misses, at a far higher miss rate, though both paths execute the
+        same number of loads. *)
+  let t = Pp_core.Hotpath.classify_paths profile in
+  Printf.printf "\nhot-path summary: %d paths executed, %d dense hot paths \
+                 carry %.0f%% of the misses\n"
+    t.Pp_core.Hotpath.all.Pp_core.Hotpath.num
+    t.Pp_core.Hotpath.dense.Pp_core.Hotpath.num
+    (100.0
+    *. float_of_int t.Pp_core.Hotpath.dense.Pp_core.Hotpath.misses
+    /. float_of_int (max 1 t.Pp_core.Hotpath.all.Pp_core.Hotpath.misses))

@@ -1,0 +1,1 @@
+lib/core/ball_larus.ml: Array Format List Pp_graph Pp_ir Printf Queue

@@ -1,0 +1,1 @@
+lib/core/ball_larus.mli: Format Pp_graph Pp_ir

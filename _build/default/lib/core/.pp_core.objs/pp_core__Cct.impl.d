@@ -1,0 +1,1 @@
+lib/core/cct.ml: Array Format List Printf

@@ -1,0 +1,1 @@
+lib/core/cct_io.ml: Array Buffer Cct Char Format Fun Hashtbl List Option Printf String

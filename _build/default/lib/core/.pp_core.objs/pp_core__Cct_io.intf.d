@@ -1,0 +1,1 @@
+lib/core/cct_io.mli: Buffer Cct

@@ -1,0 +1,1 @@
+lib/core/cct_stats.ml: Cct Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/dct.ml: Format Hashtbl List Option String

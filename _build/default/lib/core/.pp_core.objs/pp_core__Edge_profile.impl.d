@@ -1,0 +1,1 @@
+lib/core/edge_profile.ml: Array Hashtbl List Option Pp_graph Pp_ir

@@ -1,0 +1,1 @@
+lib/core/edge_profile.mli: Pp_graph Pp_ir

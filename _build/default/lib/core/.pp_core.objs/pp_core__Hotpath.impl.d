@@ -1,0 +1,1 @@
+lib/core/hotpath.ml: Ball_larus Format Hashtbl List Option Profile

@@ -1,0 +1,1 @@
+lib/core/hotpath.mli: Format Profile

@@ -1,0 +1,1 @@
+lib/core/paper_examples.ml: Pp_ir Printf

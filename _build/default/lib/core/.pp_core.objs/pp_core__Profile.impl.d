@@ -1,0 +1,1 @@
+lib/core/profile.ml: Ball_larus Format List Pp_machine

@@ -1,0 +1,1 @@
+lib/core/static_weights.ml: Array List Pp_graph Pp_ir

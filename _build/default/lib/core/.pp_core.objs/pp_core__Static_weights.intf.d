@@ -1,0 +1,1 @@
+lib/core/static_weights.mli: Pp_graph Pp_ir

@@ -1,0 +1,107 @@
+(** Efficient path profiling (Ball–Larus, MICRO'96), as summarised in §2 of
+    the PLDI'97 paper.
+
+    Given a procedure's CFG, the algorithm
+    - turns a cyclic CFG into an acyclic one by replacing every backedge
+      [v -> w] with two pseudo edges [ENTRY -> w] and [v -> EXIT];
+    - labels every vertex with [NP(v)], the number of paths from [v] to
+      EXIT, and every edge with [Val(e)] so that path sums are a bijection
+      between ENTRY→EXIT paths and [0 .. NP(ENTRY) - 1];
+    - derives instrumentation: increments of a path register along edges,
+      and a combined commit/reset operation on each backedge.
+
+    Profiled paths fall in the paper's four categories: backedge-free
+    ENTRY→EXIT paths, and paths that begin after and/or end with the
+    execution of a backedge. *)
+
+module Digraph = Pp_graph.Digraph
+
+type t
+
+exception Unsupported of string
+(** Raised when the CFG violates the algorithm's requirements (some vertex
+    unreachable from ENTRY or not reaching EXIT). *)
+
+val build : Pp_ir.Cfg.t -> t
+
+val cfg : t -> Pp_ir.Cfg.t
+
+(** [NP(ENTRY)]: the number of potential paths. *)
+val num_paths : t -> int
+
+(** [NP(v)] in the transformed acyclic graph; [v] is a vertex of the
+    original CFG. *)
+val np : t -> Digraph.vertex -> int
+
+(** The backedges of the original CFG (identified by a depth-first search
+    from ENTRY), in edge-id order. *)
+val backedges : t -> Digraph.edge list
+
+(** [Val] of a non-backedge CFG edge.
+    @raise Invalid_argument if [e] is a backedge. *)
+val edge_val : t -> Digraph.edge -> int
+
+(** [Val] of the pseudo edges standing for backedge [v -> w], as a
+    [(start, end)] pair: [start] is [Val(ENTRY -> w)] and [end] is
+    [Val(v -> EXIT)].
+    @raise Invalid_argument if [e] is not a backedge. *)
+val backedge_pseudo_vals : t -> Digraph.edge -> int * int
+
+(** {2 Paths} *)
+
+type source =
+  | From_entry
+  | After_backedge of Digraph.edge
+      (** the path begins at the backedge's target *)
+
+type sink =
+  | To_exit
+  | Into_backedge of Digraph.edge
+      (** the path ends by taking this backedge *)
+
+type path = {
+  source : source;
+  blocks : Pp_ir.Block.label list;  (** non-empty, in execution order *)
+  sink : sink;
+}
+
+(** [decode t sum] regenerates the path with the given path sum.
+    @raise Invalid_argument unless [0 <= sum < num_paths t]. *)
+val decode : t -> int -> path
+
+(** [encode t path] is the path sum; inverse of {!decode}.
+    @raise Invalid_argument if the path does not exist in the CFG. *)
+val encode : t -> path -> int
+
+val pp_path : Format.formatter -> path -> unit
+
+(** {2 Instrumentation placement}
+
+    Placements are abstract: they name original CFG edges and the constants
+    to add.  {!Pp_instrument} turns them into IR edits. *)
+
+type backedge_op = {
+  backedge : Digraph.edge;
+  end_add : int;  (** commit [count\[r + end_add\]++] when taking the edge *)
+  reset_to : int;  (** then set [r <- reset_to] *)
+}
+
+type placement = {
+  init_needed : bool;  (** whether [r <- 0] at ENTRY is required *)
+  increments : (Digraph.edge * int) list;
+      (** non-backedge CFG edges with a non-zero constant to add *)
+  backedge_ops : backedge_op list;  (** one per backedge, in edge-id order *)
+}
+
+(** One increment per labelled edge: [r += Val(e)] (zero-valued increments
+    omitted). *)
+val simple_placement : t -> placement
+
+(** The event-counting optimization (Ball '94; Figure 1(d)): increments only
+    on the chords of a maximum-weight spanning tree of the transformed graph
+    plus a fictional EXIT→ENTRY edge.  [weights] estimates edge execution
+    frequency (default: all 1); heavier edges are kept increment-free.
+    Chord increments may be negative; every complete path still commits the
+    same sum as {!simple_placement}. *)
+val optimized_placement :
+  ?weights:(Digraph.edge -> int) -> t -> placement

@@ -1,0 +1,258 @@
+type call_kind = Direct | Indirect
+
+type 'a node = {
+  node_proc : string;
+  node_nsites : int;
+  node_parent : 'a node option;
+  node_depth : int;
+  node_id : int;
+  node_data : 'a;
+  mutable slots : 'a edge list array;
+      (* per call site, most recently used first (the paper's move-to-front
+         on indirect-call lists) *)
+}
+
+and 'a edge = {
+  site : int;
+  target : 'a node;
+  is_backedge : bool;
+  kind : call_kind;
+  mutable calls : int;
+}
+
+type 'a t = {
+  merge_call_sites : bool;
+  make_data : proc:string -> nsites:int -> 'a;
+  root_node : 'a node;
+  mutable stack : 'a node list;  (* activation stack; head = current *)
+  mutable nodes_rev : 'a node list;  (* allocation order, reversed *)
+  mutable n_nodes : int;
+}
+
+let root_name = "<root>"
+
+let create ?(merge_call_sites = false) ~make_data () =
+  let root_node =
+    {
+      node_proc = root_name;
+      node_nsites = 1;
+      node_parent = None;
+      node_depth = 0;
+      node_id = 0;
+      node_data = make_data ~proc:root_name ~nsites:1;
+      slots = Array.make 1 [];
+    }
+  in
+  {
+    merge_call_sites;
+    make_data;
+    root_node;
+    stack = [ root_node ];
+    nodes_rev = [ root_node ];
+    n_nodes = 1;
+  }
+
+let root t = t.root_node
+
+let current t =
+  match t.stack with
+  | node :: _ -> node
+  | [] -> assert false
+
+let depth t = List.length t.stack - 1
+
+let slot_index t (cr : 'a node) site =
+  let idx = if t.merge_call_sites then 0 else site in
+  if idx < 0 || idx >= Array.length cr.slots then
+    invalid_arg
+      (Printf.sprintf "Cct.enter: call site %d out of range for %s" site
+         cr.node_proc);
+  idx
+
+let rec find_ancestor (node : 'a node option) proc =
+  match node with
+  | None -> None
+  | Some n -> if n.node_proc = proc then node else find_ancestor n.node_parent proc
+
+let enter t ~proc ~nsites ~site ~kind =
+  let cr = current t in
+  let idx = slot_index t cr site in
+  let existing =
+    List.find_opt (fun e -> e.target.node_proc = proc) cr.slots.(idx)
+  in
+  let edge =
+    match existing with
+    | Some e ->
+        (* Move to the front of the slot list, as the paper's construction
+           does for indirect-call lists. *)
+        cr.slots.(idx) <-
+          e :: List.filter (fun e' -> e' != e) cr.slots.(idx);
+        e
+    | None ->
+        let target, is_backedge =
+          match find_ancestor (Some cr) proc with
+          | Some ancestor -> (ancestor, true)
+          | None ->
+              let node =
+                {
+                  node_proc = proc;
+                  node_nsites = nsites;
+                  node_parent = Some cr;
+                  node_depth = cr.node_depth + 1;
+                  node_id = t.n_nodes;
+                  node_data = t.make_data ~proc ~nsites;
+                  slots =
+                    Array.make
+                      (if t.merge_call_sites then 1 else max 1 nsites)
+                      [];
+                }
+              in
+              t.nodes_rev <- node :: t.nodes_rev;
+              t.n_nodes <- t.n_nodes + 1;
+              (node, false)
+        in
+        let e = { site; target; is_backedge; kind; calls = 0 } in
+        cr.slots.(idx) <- e :: cr.slots.(idx);
+        e
+  in
+  if edge.target.node_nsites <> nsites then
+    invalid_arg
+      (Printf.sprintf "Cct.enter: %s has %d sites, previously %d" proc nsites
+         edge.target.node_nsites);
+  edge.calls <- edge.calls + 1;
+  t.stack <- edge.target :: t.stack;
+  edge.target
+
+let has_edge t ~proc ~site =
+  let cr = current t in
+  let idx = slot_index t cr site in
+  List.exists (fun e -> e.target.node_proc = proc) cr.slots.(idx)
+
+let exit t =
+  match t.stack with
+  | [ _ ] | [] -> invalid_arg "Cct.exit: only the root is active"
+  | _ :: rest -> t.stack <- rest
+
+let unwind_to_depth t d =
+  let cur = depth t in
+  if d > cur || d < 0 then
+    invalid_arg
+      (Printf.sprintf "Cct.unwind_to_depth: %d not in [0, %d]" d cur);
+  for _ = 1 to cur - d do
+    exit t
+  done
+
+let proc n = n.node_proc
+let data n = n.node_data
+let parent n = n.node_parent
+let node_depth n = n.node_depth
+let nsites n = n.node_nsites
+let id n = n.node_id
+
+let edges n =
+  (* Slots in order; within a slot, first-use order (the list is
+     most-recently-used-first, so restore insertion order by reversing). *)
+  Array.to_list n.slots
+  |> List.concat_map (fun slot -> List.rev slot)
+
+let children n =
+  List.filter_map
+    (fun e -> if e.is_backedge then None else Some e.target)
+    (edges n)
+
+let iter f t = List.iter f (List.rev t.nodes_rev)
+
+let fold f init t =
+  List.fold_left f init (List.rev t.nodes_rev)
+
+let num_nodes t = t.n_nodes
+
+let context n =
+  match n.node_parent with
+  | None -> []
+  | Some _ ->
+      let rec up acc = function
+        | None -> acc
+        | Some p ->
+            if p.node_parent = None then acc
+            else up (p.node_proc :: acc) p.node_parent
+      in
+      up [ n.node_proc ] n.node_parent
+
+let find_context t ctx =
+  let rec down node = function
+    | [] -> Some node
+    | proc :: rest -> (
+        match
+          List.find_opt
+            (fun e -> (not e.is_backedge) && e.target.node_proc = proc)
+            (edges node)
+        with
+        | Some e -> down e.target rest
+        | None -> None)
+  in
+  down t.root_node ctx
+
+let merged t = t.merge_call_sites
+
+let graft_node t ~parent ~proc ~nsites ~data =
+  let node =
+    {
+      node_proc = proc;
+      node_nsites = nsites;
+      node_parent = Some parent;
+      node_depth = parent.node_depth + 1;
+      node_id = t.n_nodes;
+      node_data = data;
+      slots =
+        Array.make (if t.merge_call_sites then 1 else max 1 nsites) [];
+    }
+  in
+  t.nodes_rev <- node :: t.nodes_rev;
+  t.n_nodes <- t.n_nodes + 1;
+  node
+
+let graft_edge t ~from_ ~site ~target ~is_backedge ~kind ~calls =
+  let idx = slot_index t from_ site in
+  from_.slots.(idx) <-
+    from_.slots.(idx) @ [ { site; target; is_backedge; kind; calls } ]
+
+let check_invariants t =
+  let fail fmt = Format.kasprintf invalid_arg fmt in
+  iter
+    (fun n ->
+      (* Every procedure occurs at most once on the root-to-node path. *)
+      let rec collect acc = function
+        | None -> acc
+        | Some p -> collect (p.node_proc :: acc) p.node_parent
+      in
+      let chain = collect [] (Some n) in
+      let sorted = List.sort compare chain in
+      let rec dup = function
+        | a :: (b :: _ as rest) -> if a = b then Some a else dup rest
+        | [ _ ] | [] -> None
+      in
+      (match dup sorted with
+      | Some p -> fail "procedure %s repeats on the path to %s" p n.node_proc
+      | None -> ());
+      List.iter
+        (fun e ->
+          if e.is_backedge then begin
+            (* Target must be an ancestor of n (or n itself). *)
+            let rec is_anc = function
+              | None -> false
+              | Some a -> a == e.target || is_anc a.node_parent
+            in
+            if not (is_anc (Some n)) then
+              fail "backedge %s -> %s does not target an ancestor"
+                n.node_proc e.target.node_proc
+          end
+          else if
+            match e.target.node_parent with
+            | Some p -> p != n
+            | None -> true
+          then
+            fail "tree edge %s -> %s but parent differs" n.node_proc
+              e.target.node_proc)
+        (edges n))
+    t

@@ -1,0 +1,200 @@
+type 'a codec = { encode : 'a -> string; decode : string -> 'a }
+
+let metrics_codec =
+  {
+    encode =
+      (fun a ->
+        String.concat " " (Array.to_list (Array.map string_of_int a)));
+    decode =
+      (fun s ->
+        if String.trim s = "" then [||]
+        else
+          Array.of_list
+            (List.map int_of_string
+               (String.split_on_char ' ' (String.trim s))));
+  }
+
+let unit_codec = { encode = (fun () -> ""); decode = (fun _ -> ()) }
+
+(* Procedure names may contain anything but whitespace in practice; escape
+   defensively anyway ('%' then spaces/newlines/percents as %XX). *)
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\n' | '\t' | '%' ->
+          Buffer.add_string buf (Printf.sprintf "%%%02x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i < n then
+      if s.[i] = '%' && i + 2 < n then begin
+        Buffer.add_char buf
+          (Char.chr (int_of_string ("0x" ^ String.sub s (i + 1) 2)));
+        go (i + 3)
+      end
+      else begin
+        Buffer.add_char buf s.[i];
+        go (i + 1)
+      end
+  in
+  go 0;
+  Buffer.contents buf
+
+let write ~codec buf cct =
+  Buffer.add_string buf
+    (Printf.sprintf "cct 1 %d %d\n" (Cct.num_nodes cct)
+       (if Cct.merged cct then 1 else 0));
+  Cct.iter
+    (fun node ->
+      let parent =
+        match Cct.parent node with Some p -> Cct.id p | None -> -1
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "node %d %d %d %d %s %s\n" (Cct.id node) parent
+           (Cct.node_depth node) (Cct.nsites node)
+           (escape (Cct.proc node))
+           (codec.encode (Cct.data node))))
+    cct;
+  Cct.iter
+    (fun node ->
+      List.iter
+        (fun (e : _ Cct.edge) ->
+          Buffer.add_string buf
+            (Printf.sprintf "edge %d %d %d %d %d %d\n" (Cct.id node)
+               e.Cct.site (Cct.id e.Cct.target)
+               (if e.Cct.is_backedge then 1 else 0)
+               (match e.Cct.kind with Cct.Indirect -> 1 | Cct.Direct -> 0)
+               e.Cct.calls))
+        (Cct.edges node))
+    cct
+
+let to_string ~codec cct =
+  let buf = Buffer.create 4096 in
+  write ~codec buf cct;
+  Buffer.contents buf
+
+let to_file ~codec path cct =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ~codec cct))
+
+exception Parse_error of int * string
+
+let fail line fmt =
+  Format.kasprintf (fun s -> raise (Parse_error (line, s))) fmt
+
+let of_string ~codec text =
+  let lines = String.split_on_char '\n' text in
+  let nodes : (int, 'a Cct.node) Hashtbl.t = Hashtbl.create 64 in
+  let cct = ref None in
+  let pending_root_data = ref None in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line = String.trim line in
+      if line <> "" then
+        match String.split_on_char ' ' line with
+        | "cct" :: "1" :: _nodes :: merged :: _ ->
+            let merge_call_sites = merged = "1" in
+            (* Defer creation until the root's data arrives. *)
+            cct :=
+              Some
+                (`Header merge_call_sites)
+        | "node" :: id :: parent :: _depth :: nsites :: name :: rest -> (
+            let id = int_of_string id in
+            let parent = int_of_string parent in
+            let nsites = int_of_string nsites in
+            let proc = unescape name in
+            let data = codec.decode (String.concat " " rest) in
+            match (!cct, parent) with
+            | Some (`Header merged), -1 ->
+                pending_root_data := Some data;
+                let t =
+                  Cct.create ~merge_call_sites:merged
+                    ~make_data:(fun ~proc:_ ~nsites:_ -> data)
+                    ()
+                in
+                Hashtbl.replace nodes id (Cct.root t);
+                cct := Some (`Tree t)
+            | Some (`Tree t), _ ->
+                if parent = -1 then fail lineno "duplicate root";
+                let parent_node =
+                  match Hashtbl.find_opt nodes parent with
+                  | Some n -> n
+                  | None -> fail lineno "unknown parent %d" parent
+                in
+                let node =
+                  Cct.graft_node t ~parent:parent_node ~proc ~nsites ~data
+                in
+                if Cct.id node <> id then
+                  fail lineno "node ids must be dense and in order";
+                Hashtbl.replace nodes id node
+            | Some (`Header _), _ -> fail lineno "first node must be the root"
+            | None, _ -> fail lineno "node before header")
+        | [ "edge"; from_; site; target; back; ind; calls ] -> (
+            match !cct with
+            | Some (`Tree t) ->
+                let find what id =
+                  match Hashtbl.find_opt nodes (int_of_string id) with
+                  | Some n -> n
+                  | None -> fail lineno "unknown %s %s" what id
+                in
+                Cct.graft_edge t ~from_:(find "source" from_)
+                  ~site:(int_of_string site)
+                  ~target:(find "target" target)
+                  ~is_backedge:(back = "1")
+                  ~kind:(if ind = "1" then Cct.Indirect else Cct.Direct)
+                  ~calls:(int_of_string calls)
+            | Some (`Header _) | None -> fail lineno "edge before nodes")
+        | word :: _ -> fail lineno "unknown record %S" word
+        | [] -> ())
+    lines;
+  ignore !pending_root_data;
+  match !cct with
+  | Some (`Tree t) -> t
+  | Some (`Header _) | None ->
+      raise (Parse_error (0, "empty or headerless input"))
+
+let of_file ~codec path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      of_string ~codec (really_input_string ic (in_channel_length ic)))
+
+let escape_label s =
+  String.concat ""
+    (List.map
+       (function '"' -> "\\\"" | c -> String.make 1 c)
+       (List.of_seq (String.to_seq s)))
+
+let to_dot ?label cct =
+  let label = Option.value ~default:(fun n -> Cct.proc n) label in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph cct {\n  node [shape=box];\n";
+  Cct.iter
+    (fun node ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\"];\n" (Cct.id node)
+           (escape_label (label node))))
+    cct;
+  Cct.iter
+    (fun node ->
+      List.iter
+        (fun (e : _ Cct.edge) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  n%d -> n%d [label=\"site %d, %d\"%s];\n"
+               (Cct.id node) (Cct.id e.Cct.target) e.Cct.site e.Cct.calls
+               (if e.Cct.is_backedge then ", style=dashed" else "")))
+        (Cct.edges node))
+    cct;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

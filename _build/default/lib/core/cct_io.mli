@@ -1,0 +1,45 @@
+(** CCT persistence and rendering.
+
+    PP's instrumentation wrote the CCT heap to a file at program exit "from
+    which the CCT can be reconstructed" (§4.2); this module provides that
+    round trip in a line-oriented text format, plus Graphviz rendering for
+    inspection.
+
+    The format, one record per line after a header:
+    {v
+    cct 1 <nodes> <merged:0|1>
+    node <id> <parent-id|-1> <depth> <nsites> <proc-name-escaped> <data...>
+    edge <from-id> <site> <to-id> <backedge:0|1> <indirect:0|1> <calls>
+    v}
+    Client data is encoded by the caller-supplied codec. *)
+
+type 'a codec = {
+  encode : 'a -> string;  (** must not contain newlines *)
+  decode : string -> 'a;
+}
+
+(** A codec for the common [int array] metric payload
+    (space-separated decimals). *)
+val metrics_codec : int array codec
+
+(** Unit payload (encodes to the empty string). *)
+val unit_codec : unit codec
+
+val write : codec:'a codec -> Buffer.t -> 'a Cct.t -> unit
+val to_string : codec:'a codec -> 'a Cct.t -> string
+val to_file : codec:'a codec -> string -> 'a Cct.t -> unit
+
+exception Parse_error of int * string
+(** Line number and message. *)
+
+(** Rebuild a CCT (its activation stack is just the root).  Edge call
+    counts, node ids, depths and client data are restored exactly;
+    {!Cct.check_invariants} holds on the result.
+    @raise Parse_error *)
+val of_string : codec:'a codec -> string -> 'a Cct.t
+
+val of_file : codec:'a codec -> string -> 'a Cct.t
+
+(** Graphviz rendering; [label] decorates each record (default: the
+    procedure name). *)
+val to_dot : ?label:('a Cct.node -> string) -> 'a Cct.t -> string

@@ -1,0 +1,127 @@
+type t = {
+  nodes : int;
+  size_bytes : int;
+  avg_node_size : float;
+  avg_out_degree : float;
+  height_avg : float;
+  height_max : int;
+  max_replication : int;
+  replicated_proc : string;
+  call_sites_total : int;
+  call_sites_used : int;
+}
+
+let cell = 4
+
+(* Figure-7 model: record = ID + parent + metrics + callee slots, all 4-byte
+   cells; each indirect slot's list element is [pr + next] = 8 bytes, plus
+   the terminal element holding the offset back to the record. *)
+let node_size ~metrics_per_node node =
+  let nsites = Cct.nsites node in
+  let record = cell * (2 + metrics_per_node + max 1 nsites) in
+  let list_bytes =
+    List.fold_left
+      (fun acc (site : int) ->
+        let edges_at =
+          List.filter (fun (e : _ Cct.edge) -> e.Cct.site = site)
+            (Cct.edges node)
+        in
+        let indirect =
+          List.exists (fun e -> e.Cct.kind = Cct.Indirect) edges_at
+        in
+        if indirect then acc + (2 * cell * (List.length edges_at + 1))
+        else acc)
+      0
+      (List.init (max 1 nsites) (fun i -> i))
+  in
+  record + list_bytes
+
+let compute ~metrics_per_node cct =
+  let root = Cct.root cct in
+  let nodes = ref 0 in
+  let size = ref 0 in
+  let interior = ref 0 in
+  let out_deg_sum = ref 0 in
+  let leaves = ref 0 in
+  let leaf_depth_sum = ref 0 in
+  let height_max = ref 0 in
+  let replication = Hashtbl.create 64 in
+  let sites_total = ref 0 in
+  let sites_used = ref 0 in
+  Cct.iter
+    (fun node ->
+      if node != root then begin
+        incr nodes;
+        size := !size + node_size ~metrics_per_node node;
+        let kids = Cct.children node in
+        let nkids = List.length kids in
+        if nkids > 0 then begin
+          incr interior;
+          out_deg_sum := !out_deg_sum + nkids
+        end
+        else begin
+          incr leaves;
+          leaf_depth_sum := !leaf_depth_sum + Cct.node_depth node
+        end;
+        if Cct.node_depth node > !height_max then
+          height_max := Cct.node_depth node;
+        let p = Cct.proc node in
+        (match Hashtbl.find_opt replication p with
+        | Some r -> incr r
+        | None -> Hashtbl.replace replication p (ref 1));
+        sites_total := !sites_total + Cct.nsites node;
+        let used_here =
+          List.length
+            (List.sort_uniq compare
+               (List.map (fun (e : _ Cct.edge) -> e.Cct.site)
+                  (Cct.edges node)))
+        in
+        sites_used := !sites_used + used_here
+      end)
+    cct;
+  let max_replication, replicated_proc =
+    Hashtbl.fold
+      (fun p r ((best, _) as acc) -> if !r > best then (!r, p) else acc)
+      replication (0, "")
+  in
+  {
+    nodes = !nodes;
+    size_bytes = !size;
+    avg_node_size =
+      (if !nodes = 0 then 0.0 else float_of_int !size /. float_of_int !nodes);
+    avg_out_degree =
+      (if !interior = 0 then 0.0
+       else float_of_int !out_deg_sum /. float_of_int !interior);
+    height_avg =
+      (if !leaves = 0 then 0.0
+       else float_of_int !leaf_depth_sum /. float_of_int !leaves);
+    height_max = !height_max;
+    max_replication;
+    replicated_proc;
+    call_sites_total = !sites_total;
+    call_sites_used = !sites_used;
+  }
+
+let call_sites_one_path ~site_paths cct =
+  let root = Cct.root cct in
+  Cct.fold
+    (fun acc node ->
+      if node == root then acc
+      else
+        let used_sites =
+          List.sort_uniq compare
+            (List.map (fun (e : _ Cct.edge) -> e.Cct.site) (Cct.edges node))
+        in
+        acc
+        + List.length
+            (List.filter (fun s -> site_paths node s = 1) used_sites))
+    0 cct
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>nodes: %d@,size: %d bytes@,avg node size: %.1f@,avg out degree: \
+     %.1f@,height: avg %.1f max %d@,max replication: %d (%s)@,call sites: \
+     %d total, %d used@]"
+    t.nodes t.size_bytes t.avg_node_size t.avg_out_degree t.height_avg
+    t.height_max t.max_replication t.replicated_proc t.call_sites_total
+    t.call_sites_used

@@ -1,0 +1,34 @@
+(** CCT statistics, in the shape of PLDI'97 Table 3.
+
+    Sizes use the paper's Figure-7 memory model: four-byte cells, a call
+    record being [ID + parent + metrics + one callee slot per site], and
+    8-byte list elements for the callee lists hanging off indirect-call
+    slots (a list also holds the terminal offset cell). *)
+
+type t = {
+  nodes : int;  (** call records, root excluded *)
+  size_bytes : int;  (** Figure-7 model over all records *)
+  avg_node_size : float;
+  avg_out_degree : float;  (** over interior nodes (≥ 1 tree child) *)
+  height_avg : float;  (** mean leaf depth *)
+  height_max : int;
+  max_replication : int;  (** most records for any one procedure *)
+  replicated_proc : string;  (** the procedure attaining it *)
+  call_sites_total : int;  (** callee slots in all records *)
+  call_sites_used : int;  (** slots with at least one callee *)
+}
+
+(** [compute ~metrics_per_node cct] walks the tree; [metrics_per_node] is
+    the number of 4-byte metric counters each record carries in the size
+    model. *)
+val compute : metrics_per_node:int -> 'a Cct.t -> t
+
+(** [call_sites_one_path ~site_paths cct] — how many used call sites are
+    reached, within their record, by exactly one intraprocedural path:
+    the sites where flow×context profiling equals full interprocedural path
+    profiling (§6.3).  [site_paths node site] counts the distinct executed
+    paths of [node]'s procedure that cross that site in that context. *)
+val call_sites_one_path :
+  site_paths:('a Cct.node -> int -> int) -> 'a Cct.t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,69 @@
+type 'a node = {
+  node_proc : string;
+  node_data : 'a;
+  mutable rev_children : 'a node list;
+}
+
+type 'a t = {
+  make_data : proc:string -> 'a;
+  max_nodes : int;
+  root_node : 'a node;
+  mutable stack : 'a node list;
+  mutable n_nodes : int;
+}
+
+let create ?(max_nodes = 1_000_000) ~make_data () =
+  let root_node =
+    { node_proc = "<root>"; node_data = make_data ~proc:"<root>";
+      rev_children = [] }
+  in
+  { make_data; max_nodes; root_node; stack = [ root_node ]; n_nodes = 1 }
+
+let root t = t.root_node
+
+let current t =
+  match t.stack with n :: _ -> n | [] -> assert false
+
+let enter t ~proc =
+  if t.n_nodes >= t.max_nodes then
+    invalid_arg "Dct.enter: node budget exhausted";
+  let parent = current t in
+  let node =
+    { node_proc = proc; node_data = t.make_data ~proc; rev_children = [] }
+  in
+  parent.rev_children <- node :: parent.rev_children;
+  t.n_nodes <- t.n_nodes + 1;
+  t.stack <- node :: t.stack;
+  node
+
+let exit t =
+  match t.stack with
+  | [ _ ] | [] -> invalid_arg "Dct.exit: only the root is active"
+  | _ :: rest -> t.stack <- rest
+
+let proc n = n.node_proc
+let data n = n.node_data
+let children n = List.rev n.rev_children
+let num_nodes t = t.n_nodes
+
+let contexts t =
+  let table = Hashtbl.create 64 in
+  let rec visit chain node =
+    let chain = node.node_proc :: chain in
+    let key = List.rev chain in
+    Hashtbl.replace table key
+      (1 + Option.value ~default:0 (Hashtbl.find_opt table key));
+    List.iter (visit chain) (children node)
+  in
+  List.iter (visit []) (children t.root_node);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
+  |> List.sort compare
+
+let pp ppf t =
+  let rec visit indent node =
+    Format.fprintf ppf "%s%s@," (String.make indent ' ') node.node_proc;
+    List.iter (visit (indent + 2)) (children node)
+  in
+  Format.fprintf ppf "@[<v>";
+  List.iter (visit 0) (children t.root_node);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,87 @@
+module B = Pp_ir.Builder
+module Block = Pp_ir.Block
+module I = Pp_ir.Instr
+module Proc = Pp_ir.Proc
+
+let figure1_proc () =
+  let b =
+    B.create ~name:"fig1" ~iparams:1 ~fparams:0 ~returns:Proc.Returns_void
+  in
+  let a = B.new_block b in
+  let bb = B.new_block b in
+  let c = B.new_block b in
+  let d = B.new_block b in
+  let e = B.new_block b in
+  let f = B.new_block b in
+  assert (a = 0 && bb = 1 && c = 2 && d = 3 && e = 4 && f = 5);
+  (* A: branch on bit 0 of the parameter to (C, B). *)
+  let t0 = B.new_ireg b in
+  B.emit b (I.Ibinop_imm (I.And, t0, 0, 1));
+  B.terminate b (Block.Br (t0, c, bb));
+  B.switch_to b bb;
+  let t1 = B.new_ireg b in
+  B.emit b (I.Ibinop_imm (I.And, t1, 0, 2));
+  B.terminate b (Block.Br (t1, c, d));
+  B.switch_to b c;
+  B.terminate b (Block.Jmp d);
+  B.switch_to b d;
+  let t2 = B.new_ireg b in
+  B.emit b (I.Ibinop_imm (I.And, t2, 0, 4));
+  B.terminate b (Block.Br (t2, f, e));
+  B.switch_to b e;
+  B.terminate b (Block.Jmp f);
+  B.switch_to b f;
+  B.terminate b (Block.Ret Block.Ret_void);
+  B.finish b
+
+let figure1_program () =
+  let fig1 = figure1_proc () in
+  let b =
+    B.create ~name:"main" ~iparams:0 ~fparams:0 ~returns:Proc.Returns_void
+  in
+  ignore (B.new_block b);
+  (* Drive fig1 through every selector value 0..7 (all six paths occur). *)
+  for v = 0 to 7 do
+    let r = B.new_ireg b in
+    B.emit b (I.Iconst (r, v));
+    B.emit_call b ~callee:"fig1" ~args:[ r ] ~fargs:[] ~ret:I.Rnone
+  done;
+  B.terminate b (Block.Ret Block.Ret_void);
+  let main = B.finish b in
+  Pp_ir.Program.make ~procs:[ main; fig1 ] ~globals:[] ~main:"main"
+
+let figure1_block_name label =
+  match label with
+  | 0 -> "A"
+  | 1 -> "B"
+  | 2 -> "C"
+  | 3 -> "D"
+  | 4 -> "E"
+  | 5 -> "F"
+  | l -> Printf.sprintf "L%d" l
+
+let figure4_trace ~enter ~exit =
+  enter "M" 0;
+  enter "A" 0;
+  enter "B" 0;
+  enter "C" 0;
+  exit ();
+  exit ();
+  exit ();
+  enter "D" 1;
+  enter "C" 0;
+  exit ();
+  enter "A" 1;
+  exit ();
+  exit ();
+  exit ()
+
+let figure5_trace ~enter ~exit =
+  enter "M" 0;
+  enter "A" 0;
+  enter "B" 0;
+  enter "A" 0;
+  exit ();
+  exit ();
+  exit ();
+  exit ()

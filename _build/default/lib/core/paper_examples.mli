@@ -1,0 +1,24 @@
+(** The worked examples from the paper's figures, reusable by the benchmark
+    harness, the examples and the test suite. *)
+
+(** The six-path CFG of Figure 1 (blocks A=0 B=1 C=2 D=3 E=4 F=5; A branches
+    to (C, B), D to (F, E)), as a procedure taking one int parameter. *)
+val figure1_proc : unit -> Pp_ir.Proc.t
+
+(** A whole program wrapping {!figure1_proc} so it can be instrumented and
+    executed: [main] drives [fig1] through all six paths. *)
+val figure1_program : unit -> Pp_ir.Program.t
+
+(** The block names of Figure 1, ["A"] … ["F"], indexed by label. *)
+val figure1_block_name : Pp_ir.Block.label -> string
+
+(** Drive [enter]/[exit] callbacks through the call trace behind Figure 4:
+    M → A → B → C returns, then M → D → C and M → D → A.  The [enter]
+    callback receives the procedure name and the caller's call-site
+    index. *)
+val figure4_trace :
+  enter:(string -> int -> unit) -> exit:(unit -> unit) -> unit
+
+(** The recursive trace of Figure 5: M → A → B → A (recursive). *)
+val figure5_trace :
+  enter:(string -> int -> unit) -> exit:(unit -> unit) -> unit

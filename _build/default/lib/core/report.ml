@@ -1,0 +1,73 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render ~columns ~rows =
+  let ncols = List.length columns in
+  let cells_of = function
+    | `Row cells ->
+        let n = List.length cells in
+        if n >= ncols then cells
+        else cells @ List.init (ncols - n) (fun _ -> "")
+    | `Sep -> []
+  in
+  let widths =
+    List.mapi
+      (fun i (header, _) ->
+        List.fold_left
+          (fun acc row ->
+            match row with
+            | `Sep -> acc
+            | `Row _ ->
+                let cells = cells_of row in
+                max acc (String.length (List.nth cells i)))
+          (String.length header) rows)
+      columns
+  in
+  let buf = Buffer.create 1024 in
+  let total_width =
+    List.fold_left ( + ) 0 widths + (2 * (ncols - 1))
+  in
+  let emit_row cells =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        let width = List.nth widths i in
+        let _, align = List.nth columns i in
+        Buffer.add_string buf (pad align width cell))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  emit_row (List.map fst columns);
+  Buffer.add_string buf (String.make total_width '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      match row with
+      | `Sep ->
+          Buffer.add_string buf (String.make total_width '-');
+          Buffer.add_char buf '\n'
+      | `Row _ -> emit_row (cells_of row))
+    rows;
+  Buffer.contents buf
+
+let sci n =
+  if n < 1_000_000 then string_of_int n
+  else begin
+    let f = float_of_int n in
+    let e = int_of_float (Float.log10 f) in
+    Printf.sprintf "%.1fe%d" (f /. (10.0 ** float_of_int e)) e
+  end
+
+let pct x = Printf.sprintf "%.1f%%" (100.0 *. x)
+let ratio x = Printf.sprintf "%.1f" x
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)

@@ -1,0 +1,25 @@
+(** Plain-text table rendering for the benchmark harness, in the visual
+    style of the paper's tables. *)
+
+type align = Left | Right
+
+(** [render ~columns ~rows] pads every cell to its column width.
+    [columns] gives header text and alignment; a row of [`Sep] draws a
+    rule.  Rows shorter than [columns] are padded with empty cells. *)
+val render :
+  columns:(string * align) list ->
+  rows:[ `Row of string list | `Sep ] list ->
+  string
+
+(** Compact counts: [1234567] as ["1.2e6"] when wide, else decimal — the
+    paper prints big totals in scientific notation. *)
+val sci : int -> string
+
+(** ["12.3%"]. *)
+val pct : float -> string
+
+(** Ratio with one decimal, e.g. ["2.7"]. *)
+val ratio : float -> string
+
+(** Mean of a list of floats (0 on empty). *)
+val mean : float list -> float

@@ -1,0 +1,1 @@
+lib/graph/dominators.ml: Array Dfs Digraph List

@@ -1,0 +1,1 @@
+lib/graph/spanning_tree.ml: Array Digraph Hashtbl List Queue Union_find

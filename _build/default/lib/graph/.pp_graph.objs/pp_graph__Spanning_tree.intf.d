@@ -1,0 +1,1 @@
+lib/graph/spanning_tree.mli: Digraph

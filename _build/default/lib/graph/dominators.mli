@@ -1,0 +1,31 @@
+(** Dominator analysis (iterative Cooper–Harvey–Kennedy).
+
+    Vertex [d] dominates [v] when every path from the root to [v] passes
+    through [d].  Dominators identify {e proper} natural loops: a backedge
+    [v -> w] forms one only when [w] dominates [v]; DFS-retreating edges
+    that fail this test belong to irreducible regions. *)
+
+type t
+
+(** [compute g ~root] — vertices unreachable from [root] have no
+    dominator information. *)
+val compute : Digraph.t -> root:Digraph.vertex -> t
+
+(** Immediate dominator; [None] for the root and for unreachable
+    vertices. *)
+val idom : t -> Digraph.vertex -> Digraph.vertex option
+
+(** [dominates t d v] — true when [d] is on every root→[v] path ([d = v]
+    included).  False if either vertex is unreachable. *)
+val dominates : t -> Digraph.vertex -> Digraph.vertex -> bool
+
+(** The root-to-[v] dominator chain, root first.
+    @raise Invalid_argument on an unreachable vertex. *)
+val dominator_chain : t -> Digraph.vertex -> Digraph.vertex list
+
+(** Backedges whose target dominates their source — the loops a reducible
+    CFG analysis may treat as natural. *)
+val natural_backedges : t -> Dfs.t -> Digraph.edge list
+
+(** A graph is reducible iff every DFS back edge is a natural backedge. *)
+val is_reducible : t -> Dfs.t -> bool

@@ -1,0 +1,34 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let output ppf g ~name ~vertex_label ~edge_label =
+  Format.fprintf ppf "digraph \"%s\" {@." (escape name);
+  Digraph.iter_vertices
+    (fun v ->
+      Format.fprintf ppf "  n%d [label=\"%s\"];@." v
+        (escape (vertex_label v)))
+    g;
+  Digraph.iter_edges
+    (fun e ->
+      let label = edge_label e in
+      if label = "" then Format.fprintf ppf "  n%d -> n%d;@." e.src e.dst
+      else
+        Format.fprintf ppf "  n%d -> n%d [label=\"%s\"];@." e.src e.dst
+          (escape label))
+    g;
+  Format.fprintf ppf "}@."
+
+let to_string g ~name ~vertex_label ~edge_label =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  output ppf g ~name ~vertex_label ~edge_label;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf

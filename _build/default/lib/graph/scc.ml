@@ -1,0 +1,90 @@
+(* Tarjan's SCC algorithm, iterative to survive deep graphs. *)
+
+type state = {
+  index : int array;  (* discovery index, -1 = unvisited *)
+  lowlink : int array;
+  on_stack : bool array;
+  mutable stack : Digraph.vertex list;
+  mutable next_index : int;
+  mutable comps : Digraph.vertex list list;
+}
+
+let visit g st root =
+  (* Each frame is (v, out-edges not yet explored). The lowlink update for a
+     returning child happens when the parent frame resumes. *)
+  let frames = ref [ (root, ref (Digraph.succs g root)) ] in
+  st.index.(root) <- st.next_index;
+  st.lowlink.(root) <- st.next_index;
+  st.next_index <- st.next_index + 1;
+  st.stack <- root :: st.stack;
+  st.on_stack.(root) <- true;
+  let rec loop () =
+    match !frames with
+    | [] -> ()
+    | (v, rest) :: tail -> (
+        match !rest with
+        | w :: ws ->
+            rest := ws;
+            if st.index.(w) < 0 then begin
+              st.index.(w) <- st.next_index;
+              st.lowlink.(w) <- st.next_index;
+              st.next_index <- st.next_index + 1;
+              st.stack <- w :: st.stack;
+              st.on_stack.(w) <- true;
+              frames := (w, ref (Digraph.succs g w)) :: !frames
+            end
+            else if st.on_stack.(w) then
+              st.lowlink.(v) <- min st.lowlink.(v) st.index.(w);
+            loop ()
+        | [] ->
+            if st.lowlink.(v) = st.index.(v) then begin
+              (* v is a component root: pop the stack down to v. *)
+              let rec pop acc =
+                match st.stack with
+                | [] -> assert false
+                | w :: rest ->
+                    st.stack <- rest;
+                    st.on_stack.(w) <- false;
+                    if w = v then w :: acc else pop (w :: acc)
+              in
+              st.comps <- pop [] :: st.comps
+            end;
+            frames := tail;
+            (match tail with
+            | (parent, _) :: _ ->
+                st.lowlink.(parent) <- min st.lowlink.(parent) st.lowlink.(v)
+            | [] -> ());
+            loop ())
+  in
+  loop ()
+
+let components g =
+  let n = Digraph.num_vertices g in
+  let st =
+    {
+      index = Array.make n (-1);
+      lowlink = Array.make n (-1);
+      on_stack = Array.make n false;
+      stack = [];
+      next_index = 0;
+      comps = [];
+    }
+  in
+  Digraph.iter_vertices (fun v -> if st.index.(v) < 0 then visit g st v) g;
+  List.rev st.comps
+
+let component_of g =
+  let comps = components g in
+  let n = Digraph.num_vertices g in
+  let ids = Array.make n (-1) in
+  List.iteri (fun i comp -> List.iter (fun v -> ids.(v) <- i) comp) comps;
+  ids
+
+let nontrivial g =
+  let has_self_loop v =
+    List.exists (fun w -> w = v) (Digraph.succs g v)
+  in
+  List.filter
+    (fun comp ->
+      match comp with [ v ] -> has_self_loop v | [] -> false | _ -> true)
+    (components g)

@@ -1,0 +1,15 @@
+(** Strongly connected components (Tarjan's algorithm). *)
+
+(** [components g] partitions all vertices into SCCs, returned in reverse
+    topological order of the condensation (i.e. a component appears before
+    the components it has edges into are all emitted — Tarjan's natural
+    emission order). Each component lists its member vertices. *)
+val components : Digraph.t -> Digraph.vertex list list
+
+(** [component_of g] maps each vertex to a dense component index. Vertices in
+    the same SCC share an index. *)
+val component_of : Digraph.t -> int array
+
+(** A component is trivial when it is a single vertex without a self-loop.
+    [nontrivial g] lists only the non-trivial components (the cycles). *)
+val nontrivial : Digraph.t -> Digraph.vertex list list

@@ -1,0 +1,1 @@
+lib/instrument/cct_instr.ml: Editor List Pp_graph Pp_ir

@@ -1,0 +1,1 @@
+lib/instrument/cct_instr.mli: Editor

@@ -1,0 +1,1 @@
+lib/instrument/driver.ml: Array Hashtbl Instrument List Option Pp_core Pp_ir Pp_machine Pp_vm

@@ -1,0 +1,1 @@
+lib/instrument/driver.mli: Instrument Pp_core Pp_graph Pp_ir Pp_machine Pp_vm

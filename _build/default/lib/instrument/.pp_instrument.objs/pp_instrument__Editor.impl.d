@@ -1,0 +1,1 @@
+lib/instrument/editor.ml: Array Hashtbl List Pp_graph Pp_ir

@@ -1,0 +1,1 @@
+lib/instrument/editor.mli: Pp_graph Pp_ir

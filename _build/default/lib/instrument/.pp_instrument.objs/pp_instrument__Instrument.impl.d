@@ -1,0 +1,1 @@
+lib/instrument/instrument.ml: Array Cct_instr Editor List Path_instr Pp_core Pp_graph Pp_ir

@@ -1,0 +1,1 @@
+lib/instrument/instrument.mli: Pp_core Pp_ir

@@ -1,0 +1,1 @@
+lib/instrument/path_instr.ml: Editor List Pp_core Pp_ir

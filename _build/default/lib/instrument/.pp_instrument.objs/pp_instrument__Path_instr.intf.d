@@ -1,0 +1,1 @@
+lib/instrument/path_instr.mli: Editor Pp_core

@@ -1,0 +1,21 @@
+module I = Pp_ir.Instr
+module Dfs = Pp_graph.Dfs
+
+let emit ed ~metrics ~backedge_reads =
+  let proc = Editor.original ed in
+  let nsites = proc.Pp_ir.Proc.nsites in
+  Editor.at_entry ed
+    ([ I.Prof (I.Cct_enter { proc_addr = 0; nsites }) ]
+    @ if metrics then [ I.Prof I.Cct_metric_enter ] else []);
+  Editor.around_calls ed (fun ~site ~indirect ->
+      ([ I.Prof (I.Cct_call { site; indirect }) ], []));
+  Editor.before_returns ed
+    ((if metrics then [ I.Prof I.Cct_metric_exit ] else [])
+    @ [ I.Prof I.Cct_exit ]);
+  if metrics && backedge_reads then begin
+    let cfg = Editor.cfg ed in
+    let dfs = Dfs.run cfg.Pp_ir.Cfg.graph ~root:cfg.Pp_ir.Cfg.entry in
+    List.iter
+      (fun e -> Editor.on_edge ed e [ I.Prof I.Cct_metric_backedge ])
+      (Dfs.back_edges dfs)
+  end

@@ -1,0 +1,13 @@
+(** CCT-construction instrumentation (context-sensitive profiling, §4.2).
+
+    Emits the paper's five instrumentation points into an {!Editor}:
+    procedure entry (find/create the call record, save gCSP), each call
+    site (set gCSP to the callee slot), procedure exit (restore gCSP), and
+    — with hardware metrics — PIC recording at entry/exit, optionally also
+    on loop backedges to bound the measured interval against 32-bit wrap
+    (§4.3). *)
+
+(** [emit ed ~metrics ~backedge_reads] — [metrics] enables the PIC-delta
+    accumulation into call records (Context+HW); [backedge_reads] adds the
+    §4.3 mid-procedure reads on every loop backedge. *)
+val emit : Editor.t -> metrics:bool -> backedge_reads:bool -> unit

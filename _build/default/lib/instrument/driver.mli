@@ -1,0 +1,65 @@
+(** End-to-end profiling sessions: instrument → execute → extract.
+
+    This is what the [pp] command-line tool and the benchmark harness build
+    on: the equivalent of running PP over a binary and collecting its
+    profile files afterwards. *)
+
+module Event = Pp_machine.Event
+module Cct = Pp_core.Cct
+module Profile = Pp_core.Profile
+
+type session = {
+  original : Pp_ir.Program.t;
+  instrumented : Pp_ir.Program.t;
+  manifest : Instrument.manifest;
+  vm : Pp_vm.Interp.t;
+}
+
+(** Instrument for [mode], build a VM, register the runtime tables and
+    select the PIC events (default: [Dcache_misses], [Instructions] — the
+    Table 4/5 configuration). *)
+val prepare :
+  ?options:Instrument.options ->
+  ?config:Pp_machine.Config.t ->
+  ?max_instructions:int ->
+  ?pics:Event.t * Event.t ->
+  mode:Instrument.mode ->
+  Pp_ir.Program.t ->
+  session
+
+(** Execute to completion.  @raise Pp_vm.Interp.Trap *)
+val run : session -> Pp_vm.Interp.result
+
+(** Execute the {e uninstrumented} program under the same machine model —
+    the paper's sampled baseline. *)
+val run_baseline :
+  ?config:Pp_machine.Config.t ->
+  ?max_instructions:int ->
+  ?pics:Event.t * Event.t ->
+  Pp_ir.Program.t ->
+  Pp_vm.Interp.result
+
+(** The flow-sensitive profile (array, hash and CCT-aggregated tables),
+    valid after {!run}.  Procedures without path instrumentation are
+    omitted. *)
+val path_profile : session -> Profile.t
+
+(** The calling context tree, valid after {!run} in a context mode. *)
+val cct : session -> Pp_vm.Runtime.record_data Cct.t
+
+(** Reconstructed per-edge execution counts, valid after {!run} in
+    [Edge_freq] mode: for each procedure, the plan and every CFG edge's
+    count recovered from the chord counters. *)
+val edge_profile :
+  session ->
+  (string
+  * Pp_core.Edge_profile.t
+  * (Pp_graph.Digraph.edge * int) list)
+  list
+
+(** Executed-path count per call site of a CCT record's procedure: for
+    Table 3's "one path" column via {!Pp_core.Cct_stats.call_sites_one_path}.
+    Uses the record's own path table and the procedure's numbering to find
+    which call sites the executed paths cross. *)
+val site_paths :
+  session -> Pp_vm.Runtime.record_data Cct.node -> int -> int

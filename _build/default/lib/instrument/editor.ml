@@ -1,0 +1,170 @@
+module Digraph = Pp_graph.Digraph
+module I = Pp_ir.Instr
+module Block = Pp_ir.Block
+module Proc = Pp_ir.Proc
+module Cfg = Pp_ir.Cfg
+
+type t = {
+  proc : Proc.t;
+  cfg : Cfg.t;
+  mutable next_ireg : int;
+  mutable extra_frame_words : int;
+  mutable entry_rev : I.t list;
+  edge_code : (int, I.t list ref) Hashtbl.t;  (* edge id -> instrs *)
+  mutable ret_rev : I.t list;
+  mutable call_wraps :
+    (site:int -> indirect:bool -> I.t list * I.t list) list;
+}
+
+let create proc =
+  {
+    proc;
+    cfg = Cfg.of_proc proc;
+    next_ireg = proc.Proc.niregs;
+    extra_frame_words = 0;
+    entry_rev = [];
+    edge_code = Hashtbl.create 16;
+    ret_rev = [];
+    call_wraps = [];
+  }
+
+let original t = t.proc
+let cfg t = t.cfg
+
+let new_ireg t =
+  let r = t.next_ireg in
+  t.next_ireg <- r + 1;
+  r
+
+let alloc_spill_slot t =
+  let off = (t.proc.Proc.frame_words + t.extra_frame_words) * 8 in
+  t.extra_frame_words <- t.extra_frame_words + 1;
+  off
+
+let at_entry t instrs = t.entry_rev <- List.rev_append instrs t.entry_rev
+
+let on_edge t (e : Digraph.edge) instrs =
+  (match Cfg.role t.cfg e with
+  | Cfg.Entry ->
+      invalid_arg "Editor.on_edge: use at_entry for the ENTRY edge"
+  | Cfg.Jump | Cfg.Branch_true | Cfg.Branch_false | Cfg.Return -> ());
+  match Hashtbl.find_opt t.edge_code e.id with
+  | Some r -> r := !r @ instrs
+  | None -> Hashtbl.replace t.edge_code e.id (ref instrs)
+
+let before_returns t instrs = t.ret_rev <- List.rev_append instrs t.ret_rev
+
+let around_calls t f = t.call_wraps <- t.call_wraps @ [ f ]
+
+let wrap_calls t instrs =
+  if t.call_wraps = [] then instrs
+  else
+    List.concat_map
+      (fun instr ->
+        match instr with
+        | I.Call { site; _ } | I.Callind { site; _ } ->
+            let indirect =
+              match instr with I.Callind _ -> true | _ -> false
+            in
+            let before, after =
+              List.fold_left
+                (fun (b, a) f ->
+                  let b', a' = f ~site ~indirect in
+                  (b @ b', a' @ a))
+                ([], []) t.call_wraps
+            in
+            before @ (instr :: after)
+        | _ -> [ instr ])
+      instrs
+
+let finish t =
+  let p = t.proc in
+  let g = t.cfg.Cfg.graph in
+  let n = Proc.num_blocks p in
+  (* Decide a placement for each edge with code. *)
+  let appends = Array.make n [] in  (* per src label, before terminator *)
+  let prepends = Array.make n [] in  (* per dst label, at block head *)
+  let splits = ref [] in  (* (edge, instrs) needing a fresh block *)
+  Hashtbl.iter
+    (fun edge_id code ->
+      let e = Digraph.edge g edge_id in
+      match Cfg.role t.cfg e with
+      | Cfg.Entry -> assert false
+      | Cfg.Jump | Cfg.Return ->
+          (* The edge is its source's only departure. *)
+          appends.(e.src) <- appends.(e.src) @ !code
+      | Cfg.Branch_true | Cfg.Branch_false ->
+          if Digraph.in_degree g e.dst = 1 then
+            prepends.(e.dst) <- prepends.(e.dst) @ !code
+          else splits := (e, !code) :: !splits)
+    t.edge_code;
+  let splits = List.rev !splits in
+  (* Fresh labels: original blocks keep theirs; splits then the preamble. *)
+  let next_label = ref n in
+  let fresh () =
+    let l = !next_label in
+    next_label := l + 1;
+    l
+  in
+  let split_label =
+    List.map
+      (fun (e, code) ->
+        let l = fresh () in
+        (e, l, code))
+      splits
+  in
+  let ret_code = List.rev t.ret_rev in
+  let rewritten =
+    Array.map
+      (fun (b : Block.t) ->
+        let instrs = wrap_calls t b.instrs in
+        let instrs = prepends.(b.label) @ instrs @ appends.(b.label) in
+        let instrs =
+          match b.term with
+          | Block.Ret _ -> instrs @ ret_code
+          | Block.Jmp _ | Block.Br _ -> instrs
+        in
+        (* Redirect split branch arms to their trampoline blocks. *)
+        let term =
+          match b.term with
+          | Block.Br (r, tl, fl) ->
+              let redirect role current =
+                match
+                  List.find_opt
+                    (fun ((e : Digraph.edge), _, _) ->
+                      e.src = b.label && Cfg.role t.cfg e = role)
+                    split_label
+                with
+                | Some (_, l, _) -> l
+                | None -> current
+              in
+              Block.Br
+                ( r,
+                  redirect Cfg.Branch_true tl,
+                  redirect Cfg.Branch_false fl )
+          | (Block.Jmp _ | Block.Ret _) as term -> term
+        in
+        { b with Block.instrs; term })
+      p.Proc.blocks
+  in
+  let split_blocks =
+    List.map
+      (fun ((e : Digraph.edge), l, code) ->
+        { Block.label = l; instrs = code; term = Block.Jmp e.dst })
+      split_label
+  in
+  let entry_label = fresh () in
+  let preamble =
+    {
+      Block.label = entry_label;
+      instrs = List.rev t.entry_rev;
+      term = Block.Jmp p.Proc.entry;
+    }
+  in
+  let blocks =
+    Array.of_list
+      (Array.to_list rewritten @ split_blocks @ [ preamble ])
+  in
+  Proc.with_blocks ~entry:entry_label
+    ~frame_words:(p.Proc.frame_words + t.extra_frame_words)
+    p blocks

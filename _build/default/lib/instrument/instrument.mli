@@ -1,0 +1,79 @@
+(** Whole-program instrumentation — the core of the PP tool.
+
+    The four configurations mirror the paper's measurements:
+    - {!Flow_freq}: Ball–Larus path frequencies only (the BL96 baseline);
+    - {!Flow_hw}: paths with two hardware metrics ("Flow and HW");
+    - {!Context_hw}: CCT with per-record metric deltas ("Context and HW");
+    - {!Context_flow}: CCT whose records hold path-frequency tables
+      ("Context and Flow" — the flow×context combination of §4.3). *)
+
+module Ball_larus = Pp_core.Ball_larus
+
+type mode =
+  | Edge_freq
+      (** efficient edge profiling (BL94) — the overhead baseline the paper
+          compares path profiling against *)
+  | Flow_freq
+  | Flow_hw
+  | Context_hw
+  | Context_flow
+
+type options = {
+  optimize_placement : bool;
+      (** chord placement over a spanning tree (Fig. 1(d)) instead of one
+          increment per labelled edge, weighted by static loop-depth
+          frequency estimates ({!Pp_core.Static_weights}) *)
+  array_threshold : int;
+      (** procedures with at most this many potential paths use an array
+          of counters; beyond it, the runtime hash table *)
+  backedge_metric_reads : bool;  (** §4.3 reads on loop backedges (A4) *)
+  caller_saves : bool;
+      (** save/restore PICs at call sites instead of callee entry/exit
+          (A3) *)
+  spill_threshold : int;
+      (** procedures already using at least this many integer registers
+          spill the path register to the frame *)
+  merge_call_sites : bool;  (** CCT slots merged per §4.1 (A2) *)
+  only : string list option;
+      (** instrument only these procedures ([None] = all).  Partial
+          instrumentation follows the paper's gCSP discipline: an
+          instrumented procedure called through uninstrumented frames is
+          recorded as a child of its nearest instrumented ancestor.  This
+          is what iterative schemes like Hall's call-path profiling (§7.2)
+          need. *)
+}
+
+val default_options : options
+
+type table =
+  | No_table
+  | Array_table of { global : string; cells : int }
+  | Hash_table of { id : int }
+  | Cct_table of { id : int }
+  | Edge_table of { global : string; plan : Pp_core.Edge_profile.t }
+
+type proc_info = {
+  proc : string;
+  numbering : Ball_larus.t option;  (** None when paths are not profiled *)
+  table : table;
+  num_paths : int;
+  spilled : bool;
+}
+
+(** The counter-array global used by a procedure's edge/path table, if
+    any. *)
+val table_global_name : string -> string
+
+type manifest = {
+  mode : mode;
+  options : options;
+  infos : proc_info list;
+}
+
+(** [run ~mode prog] instruments every procedure, adding counter-array
+    globals as needed.  The result still passes {!Pp_ir.Validate}. *)
+val run :
+  ?options:options -> mode:mode -> Pp_ir.Program.t ->
+  Pp_ir.Program.t * manifest
+
+val mode_name : mode -> string

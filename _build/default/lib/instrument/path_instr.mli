@@ -1,0 +1,33 @@
+(** Path-profiling instrumentation (flow-sensitive profiling, §2–§3).
+
+    Given a Ball–Larus numbering and a placement, emits into an {!Editor}:
+    - the path register initialisation at entry (with PIC save + zero when
+      hardware metrics are collected);
+    - [r += c] increments on labelled edges;
+    - the combined commit/reset operation on backedges;
+    - the final commit (and PIC restore) before every return.
+
+    The commit target is an array global ([count\[r\]++] in straight-line
+    code, 13+ instructions with two metric accumulators), a runtime hash
+    table (path-rich procedures), or the current CCT call record's table
+    (the flow×context combination). *)
+
+type target =
+  | Array_target of { global : string; cells : int }
+      (** cells per entry: 1 (freq) or 3 (freq + two PIC accumulators) *)
+  | Hash_target of { id : int }
+  | Cct_target of { id : int }
+
+(** [emit ed ~placement ~hw ~target ~spill] adds the flow
+    instrumentation.  [spill] forces the path register into a frame slot
+    (the no-free-register case).  With [hw], the callee-side PIC
+    save/restore of §3.1 is emitted unless [caller_saves] (ablation A3), in
+    which case call sites get the save/restore instead. *)
+val emit :
+  Editor.t ->
+  placement:Pp_core.Ball_larus.placement ->
+  hw:bool ->
+  target:target ->
+  spill:bool ->
+  caller_saves:bool ->
+  unit

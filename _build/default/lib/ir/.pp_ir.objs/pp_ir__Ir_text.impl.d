@@ -1,0 +1,1 @@
+lib/ir/ir_text.ml: Array Block Format Instr List Printf Proc Program String

@@ -1,0 +1,1 @@
+lib/ir/layout.ml: Array Block Hashtbl Instr List Printf Proc Program

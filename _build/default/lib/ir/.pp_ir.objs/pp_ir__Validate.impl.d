@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Array Block Cfg Format Instr List Pp_graph Proc Program

@@ -1,0 +1,34 @@
+type label = int
+
+type ret_val =
+  | Ret_int of Instr.ireg
+  | Ret_float of Instr.freg
+  | Ret_void
+
+type terminator =
+  | Jmp of label
+  | Br of Instr.ireg * label * label
+  | Ret of ret_val
+
+type t = { label : label; instrs : Instr.t list; term : terminator }
+
+let successors b =
+  match b.term with
+  | Jmp l -> [ l ]
+  | Br (_, t, f) -> [ t; f ]
+  | Ret _ -> []
+
+let slots b =
+  List.fold_left (fun acc i -> acc + Instr.slots i) 1 b.instrs
+
+let pp_terminator ppf = function
+  | Jmp l -> Format.fprintf ppf "jmp L%d" l
+  | Br (r, t, f) -> Format.fprintf ppf "br r%d, L%d, L%d" r t f
+  | Ret Ret_void -> Format.pp_print_string ppf "ret"
+  | Ret (Ret_int r) -> Format.fprintf ppf "ret r%d" r
+  | Ret (Ret_float f) -> Format.fprintf ppf "ret f%d" f
+
+let pp ppf b =
+  Format.fprintf ppf "@[<v 2>L%d:" b.label;
+  List.iter (fun i -> Format.fprintf ppf "@,%a" Instr.pp i) b.instrs;
+  Format.fprintf ppf "@,%a@]" pp_terminator b.term

@@ -1,0 +1,120 @@
+type partial_block = {
+  mutable rev_instrs : Instr.t list;
+  mutable term : Block.terminator option;
+  mutable touched : bool;  (* has ever been the current block *)
+}
+
+type t = {
+  name : string;
+  iparams : int;
+  fparams : int;
+  returns : Proc.return_kind;
+  mutable frame_words : int;
+  mutable next_ireg : int;
+  mutable next_freg : int;
+  mutable next_site : int;
+  mutable blocks : partial_block array;
+  mutable n_blocks : int;
+  mutable cur : Block.label option;
+}
+
+let create ~name ~iparams ~fparams ~returns =
+  {
+    name;
+    iparams;
+    fparams;
+    returns;
+    frame_words = 0;
+    next_ireg = iparams;
+    next_freg = fparams;
+    next_site = 0;
+    blocks = Array.make 8 { rev_instrs = []; term = None; touched = false };
+    n_blocks = 0;
+    cur = None;
+  }
+
+let alloc_frame t ~words =
+  if words <= 0 then invalid_arg "Builder.alloc_frame: words <= 0";
+  let off = t.frame_words * 8 in
+  t.frame_words <- t.frame_words + words;
+  off
+
+let new_ireg t =
+  let r = t.next_ireg in
+  t.next_ireg <- r + 1;
+  r
+
+let new_freg t =
+  let r = t.next_freg in
+  t.next_freg <- r + 1;
+  r
+
+let new_block t =
+  let l = t.n_blocks in
+  if l >= Array.length t.blocks then begin
+    let blocks =
+      Array.make (2 * Array.length t.blocks)
+        { rev_instrs = []; term = None; touched = false }
+    in
+    Array.blit t.blocks 0 blocks 0 l;
+    t.blocks <- blocks
+  end;
+  t.blocks.(l) <- { rev_instrs = []; term = None; touched = false };
+  t.n_blocks <- l + 1;
+  if t.cur = None then begin
+    t.blocks.(l).touched <- true;
+    t.cur <- Some l
+  end;
+  l
+
+let switch_to t l =
+  if l < 0 || l >= t.n_blocks then invalid_arg "Builder.switch_to: no block";
+  let b = t.blocks.(l) in
+  if b.term <> None then
+    invalid_arg
+      (Printf.sprintf "Builder.switch_to(%s): L%d already terminated" t.name
+         l);
+  if b.touched && b.rev_instrs <> [] then
+    invalid_arg
+      (Printf.sprintf "Builder.switch_to(%s): L%d already filled" t.name l);
+  b.touched <- true;
+  t.cur <- Some l
+
+let current t =
+  match t.cur with
+  | Some l -> l
+  | None -> invalid_arg (Printf.sprintf "Builder(%s): no current block" t.name)
+
+let emit t i =
+  let b = t.blocks.(current t) in
+  b.rev_instrs <- i :: b.rev_instrs
+
+let fresh_site t =
+  let s = t.next_site in
+  t.next_site <- s + 1;
+  s
+
+let emit_call t ~callee ~args ~fargs ~ret =
+  emit t (Instr.Call { callee; args; fargs; ret; site = fresh_site t })
+
+let emit_callind t ~target ~args ~fargs ~ret =
+  emit t (Instr.Callind { target; args; fargs; ret; site = fresh_site t })
+
+let terminate t term =
+  let l = current t in
+  t.blocks.(l).term <- Some term;
+  t.cur <- None
+
+let finish t =
+  let blocks =
+    Array.init t.n_blocks (fun l ->
+        let b = t.blocks.(l) in
+        match b.term with
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Builder.finish(%s): L%d unterminated" t.name l)
+        | Some term ->
+            { Block.label = l; instrs = List.rev b.rev_instrs; term })
+  in
+  Proc.make ~frame_words:t.frame_words ~name:t.name ~iparams:t.iparams
+    ~fparams:t.fparams ~returns:t.returns ~blocks ~entry:0

@@ -1,0 +1,18 @@
+(** Structural checking of whole programs, run before loading. *)
+
+exception Invalid of string
+
+(** [run prog] checks, raising {!Invalid} with a diagnostic on the first
+    violation:
+    - every direct call and [Iconst_sym] names an existing procedure or
+      global;
+    - call argument counts and result destinations match the callee
+      signature;
+    - [Ret] value kinds match the enclosing procedure's return kind;
+    - every block is reachable from the entry and reaches some return
+      (the profiler's ENTRY/EXIT requirements);
+    - register indices are within the procedure's declared counts. *)
+val run : Program.t -> unit
+
+(** [check prog] is [run] packaged as a result. *)
+val check : Program.t -> (unit, string) result

@@ -1,0 +1,1 @@
+lib/machine/fp_unit.ml: Array Config List

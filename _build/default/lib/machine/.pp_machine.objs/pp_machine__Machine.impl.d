@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Branch_pred Cache Config Counters Event Fp_unit Store_buffer

@@ -1,0 +1,23 @@
+(* Counter states: 0 strongly-not-taken, 1 weakly-not-taken, 2 weakly-taken,
+   3 strongly-taken. *)
+type t = { mask : int; counters : int array }
+
+let weakly_taken = 2
+
+let create ~table_size =
+  if table_size <= 0 || table_size land (table_size - 1) <> 0 then
+    invalid_arg "Branch_pred.create: table size must be a power of two";
+  { mask = table_size - 1; counters = Array.make table_size weakly_taken }
+
+let predict_and_update t ~addr ~taken =
+  (* Instructions are 4 bytes; drop the low bits so consecutive branches use
+     different entries. *)
+  let idx = (addr lsr 2) land t.mask in
+  let c = t.counters.(idx) in
+  let predicted_taken = c >= 2 in
+  t.counters.(idx) <-
+    (if taken then min 3 (c + 1) else max 0 (c - 1));
+  predicted_taken = taken
+
+let clear t =
+  Array.fill t.counters 0 (Array.length t.counters) weakly_taken

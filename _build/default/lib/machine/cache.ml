@@ -1,0 +1,92 @@
+type t = {
+  line_shift : int;
+  set_mask : int;
+  ways : int;
+  tags : int array;  (* sets * ways; -1 = invalid *)
+  stamp : int array;  (* LRU recency stamps, parallel to tags *)
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let create (g : Config.cache_geometry) =
+  let n_sets = g.size_bytes / (g.line_bytes * g.associativity) in
+  {
+    line_shift = log2 g.line_bytes;
+    set_mask = n_sets - 1;
+    ways = g.associativity;
+    tags = Array.make (n_sets * g.associativity) (-1);
+    stamp = Array.make (n_sets * g.associativity) 0;
+    clock = 0;
+    accesses = 0;
+    misses = 0;
+  }
+
+let sets t = (t.set_mask + 1 : int)
+
+let find t addr =
+  let line = addr lsr t.line_shift in
+  let set = line land t.set_mask in
+  let base = set * t.ways in
+  let rec scan i =
+    if i >= t.ways then None
+    else if t.tags.(base + i) = line then Some (base + i)
+    else scan (i + 1)
+  in
+  (base, line, scan 0)
+
+let touch t slot =
+  t.clock <- t.clock + 1;
+  t.stamp.(slot) <- t.clock
+
+let victim t base =
+  (* Least-recently-used way in the set; empty ways are oldest of all since
+     their stamp is 0 and the clock starts at 1. *)
+  let best = ref base in
+  for i = 1 to t.ways - 1 do
+    if t.stamp.(base + i) < t.stamp.(!best) then best := base + i
+  done;
+  !best
+
+let read t addr =
+  t.accesses <- t.accesses + 1;
+  let base, line, hit = find t addr in
+  match hit with
+  | Some slot ->
+      touch t slot;
+      true
+  | None ->
+      t.misses <- t.misses + 1;
+      let slot = victim t base in
+      t.tags.(slot) <- line;
+      touch t slot;
+      false
+
+let write t addr =
+  t.accesses <- t.accesses + 1;
+  let _base, _line, hit = find t addr in
+  match hit with
+  | Some slot ->
+      touch t slot;
+      true
+  | None ->
+      t.misses <- t.misses + 1;
+      false
+
+let probe t addr =
+  let _, _, hit = find t addr in
+  hit <> None
+
+let clear t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.stamp 0 (Array.length t.stamp) 0;
+  t.clock <- 0;
+  t.accesses <- 0;
+  t.misses <- 0
+
+let accesses t = t.accesses
+let misses t = t.misses

@@ -1,0 +1,30 @@
+(** Set-associative caches with LRU replacement.
+
+    The model tracks tags only (no data — the VM's memory is always
+    coherent); an access classifies as hit or miss and updates recency.
+    Write policy is chosen per access: the L1 D-cache is write-through
+    non-allocating (a store miss does not fill the line, as on the
+    UltraSPARC), so stores use [write] and loads use [read]. *)
+
+type t
+
+val create : Config.cache_geometry -> t
+
+(** [read t addr] touches the line containing [addr]; a miss fills it.
+    Returns [true] on hit. *)
+val read : t -> int -> bool
+
+(** [write t addr] is a non-allocating write probe: recency is updated on a
+    hit, and a miss leaves the cache unchanged.  Returns [true] on hit. *)
+val write : t -> int -> bool
+
+(** [probe t addr] tests for presence without disturbing any state. *)
+val probe : t -> int -> bool
+
+val clear : t -> unit
+
+val accesses : t -> int
+val misses : t -> int
+
+(** Number of sets (for tests). *)
+val sets : t -> int

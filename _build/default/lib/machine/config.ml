@@ -1,0 +1,67 @@
+type cache_geometry = {
+  size_bytes : int;
+  line_bytes : int;
+  associativity : int;
+}
+
+type t = {
+  dcache : cache_geometry;
+  icache : cache_geometry;
+  dcache_miss_penalty : int;
+  icache_miss_penalty : int;
+  branch_table_size : int;
+  mispredict_penalty : int;
+  store_buffer_entries : int;
+  store_drain_cycles : int;
+  store_drain_miss_cycles : int;
+  fp_add_latency : int;
+  fp_mul_latency : int;
+  fp_div_latency : int;
+}
+
+let default =
+  {
+    dcache = { size_bytes = 16 * 1024; line_bytes = 32; associativity = 1 };
+    icache = { size_bytes = 16 * 1024; line_bytes = 32; associativity = 2 };
+    dcache_miss_penalty = 8;
+    icache_miss_penalty = 6;
+    branch_table_size = 512;
+    mispredict_penalty = 4;
+    store_buffer_entries = 6;
+    store_drain_cycles = 2;
+    store_drain_miss_cycles = 16;
+    fp_add_latency = 3;
+    fp_mul_latency = 3;
+    fp_div_latency = 12;
+  }
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let validate t =
+  let check_geom what g =
+    if not (is_power_of_two g.size_bytes) then
+      invalid_arg (what ^ ": size must be a power of two");
+    if not (is_power_of_two g.line_bytes) then
+      invalid_arg (what ^ ": line size must be a power of two");
+    if g.associativity <= 0 then invalid_arg (what ^ ": associativity <= 0");
+    if g.size_bytes mod (g.line_bytes * g.associativity) <> 0 then
+      invalid_arg (what ^ ": size not divisible by line*assoc")
+  in
+  check_geom "dcache" t.dcache;
+  check_geom "icache" t.icache;
+  if not (is_power_of_two t.branch_table_size) then
+    invalid_arg "branch_table_size must be a power of two";
+  List.iter
+    (fun (what, v) -> if v <= 0 then invalid_arg (what ^ " <= 0"))
+    [
+      ("dcache_miss_penalty", t.dcache_miss_penalty);
+      ("icache_miss_penalty", t.icache_miss_penalty);
+      ("mispredict_penalty", t.mispredict_penalty);
+      ("store_buffer_entries", t.store_buffer_entries);
+      ("store_drain_cycles", t.store_drain_cycles);
+      ("store_drain_miss_cycles", t.store_drain_miss_cycles);
+      ("fp_add_latency", t.fp_add_latency);
+      ("fp_mul_latency", t.fp_mul_latency);
+      ("fp_div_latency", t.fp_div_latency);
+    ];
+  t

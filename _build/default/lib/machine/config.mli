@@ -1,0 +1,33 @@
+(** Microarchitecture parameters, defaulted to an UltraSPARC-I-like shape:
+    16 KB direct-mapped write-through L1 D-cache with 32-byte lines, 16 KB
+    2-way L1 I-cache, a small branch-prediction table, an 8-entry store
+    buffer and pipelined FP with multi-cycle latency. *)
+
+type cache_geometry = {
+  size_bytes : int;
+  line_bytes : int;
+  associativity : int;  (** 1 = direct mapped *)
+}
+
+type t = {
+  dcache : cache_geometry;
+  icache : cache_geometry;
+  dcache_miss_penalty : int;  (** cycles per load miss *)
+  icache_miss_penalty : int;
+  branch_table_size : int;  (** entries of 2-bit counters *)
+  mispredict_penalty : int;
+  store_buffer_entries : int;
+  store_drain_cycles : int;  (** buffer-drain time of a store that hit *)
+  store_drain_miss_cycles : int;
+      (** drain time of a write miss — write-through and non-allocating, it
+          goes all the way to memory and holds its slot far longer *)
+  fp_add_latency : int;
+  fp_mul_latency : int;
+  fp_div_latency : int;
+}
+
+val default : t
+
+(** @raise Invalid_argument when a geometry is not a power-of-two shape or a
+    parameter is non-positive. *)
+val validate : t -> t

@@ -1,0 +1,35 @@
+type t = {
+  config : Config.t;
+  mutable ready : int array;  (* per FP register: cycle when ready *)
+}
+
+type op_class = Fp_add | Fp_mul | Fp_div
+
+let create config ~nregs = { config; ready = Array.make (max nregs 1) 0 }
+
+let ensure t ~nregs =
+  if nregs > Array.length t.ready then begin
+    let ready = Array.make nregs 0 in
+    Array.blit t.ready 0 ready 0 (Array.length t.ready);
+    t.ready <- ready
+  end
+
+let latency t = function
+  | Fp_add -> t.config.Config.fp_add_latency
+  | Fp_mul -> t.config.Config.fp_mul_latency
+  | Fp_div -> t.config.Config.fp_div_latency
+
+let wait t ~now srcs =
+  List.fold_left (fun acc s -> max acc (t.ready.(s) - now)) 0 srcs
+
+let issue t ~now ~cls ~dst ~srcs =
+  let stall = wait t ~now srcs in
+  let start = now + stall in
+  t.ready.(dst) <- start + latency t cls;
+  stall
+
+let use t ~now ~src = wait t ~now [ src ]
+
+let define t ~now ~dst = t.ready.(dst) <- now
+
+let clear t = Array.fill t.ready 0 (Array.length t.ready) 0

@@ -1,0 +1,102 @@
+type t = {
+  config : Config.t;
+  counters : Counters.t;
+  dcache : Cache.t;
+  icache : Cache.t;
+  branch_pred : Branch_pred.t;
+  store_buffer : Store_buffer.t;
+  fp : Fp_unit.t;
+  mutable cycles : int;
+}
+
+let create config =
+  let config = Config.validate config in
+  {
+    config;
+    counters = Counters.create ();
+    dcache = Cache.create config.Config.dcache;
+    icache = Cache.create config.Config.icache;
+    branch_pred = Branch_pred.create ~table_size:config.Config.branch_table_size;
+    store_buffer =
+      Store_buffer.create ~entries:config.Config.store_buffer_entries;
+    fp = Fp_unit.create config ~nregs:32;
+    cycles = 0;
+  }
+
+let config t = t.config
+let counters t = t.counters
+let now t = t.cycles
+
+let spend t event n =
+  if n > 0 then begin
+    t.cycles <- t.cycles + n;
+    Counters.bump t.counters Event.Cycles n;
+    Counters.bump t.counters event n
+  end
+
+let fetch t ~addr =
+  Counters.bump t.counters Event.Instructions 1;
+  Counters.bump t.counters Event.Icache_refs 1;
+  t.cycles <- t.cycles + 1;
+  Counters.bump t.counters Event.Cycles 1;
+  if not (Cache.read t.icache addr) then begin
+    Counters.bump t.counters Event.Icache_misses 1;
+    t.cycles <- t.cycles + t.config.Config.icache_miss_penalty;
+    Counters.bump t.counters Event.Cycles t.config.Config.icache_miss_penalty
+  end
+
+let load t ~addr =
+  Counters.bump t.counters Event.Loads 1;
+  Counters.bump t.counters Event.Dcache_reads 1;
+  if not (Cache.read t.dcache addr) then begin
+    Counters.bump t.counters Event.Dcache_read_misses 1;
+    Counters.bump t.counters Event.Dcache_misses 1;
+    t.cycles <- t.cycles + t.config.Config.dcache_miss_penalty;
+    Counters.bump t.counters Event.Cycles t.config.Config.dcache_miss_penalty
+  end
+
+let store t ~addr =
+  Counters.bump t.counters Event.Stores 1;
+  Counters.bump t.counters Event.Dcache_writes 1;
+  let hit = Cache.write t.dcache addr in
+  if not hit then begin
+    Counters.bump t.counters Event.Dcache_write_misses 1;
+    Counters.bump t.counters Event.Dcache_misses 1
+  end;
+  let drain =
+    if hit then t.config.Config.store_drain_cycles
+    else t.config.Config.store_drain_miss_cycles
+  in
+  let stall = Store_buffer.push t.store_buffer ~now:t.cycles ~drain in
+  spend t Event.Store_buffer_stalls stall
+
+let branch t ~addr ~taken =
+  Counters.bump t.counters Event.Branches 1;
+  if not (Branch_pred.predict_and_update t.branch_pred ~addr ~taken) then begin
+    Counters.bump t.counters Event.Branch_mispredicts 1;
+    spend t Event.Mispredict_stalls t.config.Config.mispredict_penalty
+  end
+
+let fp_issue t ~cls ~dst ~srcs =
+  Counters.bump t.counters Event.Fp_ops 1;
+  let stall = Fp_unit.issue t.fp ~now:t.cycles ~cls ~dst ~srcs in
+  spend t Event.Fp_stalls stall
+
+let fp_use t ~src =
+  let stall = Fp_unit.use t.fp ~now:t.cycles ~src in
+  spend t Event.Fp_stalls stall
+
+let fp_define t ~dst = Fp_unit.define t.fp ~now:t.cycles ~dst
+
+let fp_frame t ~nregs =
+  Fp_unit.ensure t.fp ~nregs;
+  Fp_unit.clear t.fp
+
+let reset t =
+  Cache.clear t.dcache;
+  Cache.clear t.icache;
+  Branch_pred.clear t.branch_pred;
+  Store_buffer.clear t.store_buffer;
+  Fp_unit.clear t.fp;
+  Counters.clear t.counters;
+  t.cycles <- 0

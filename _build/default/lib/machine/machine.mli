@@ -1,0 +1,48 @@
+(** The assembled microarchitecture model.
+
+    The VM reports every fetch, load, store, branch and FP operation; the
+    machine advances a cycle clock, applies stall penalties and maintains
+    the event {!Counters}.  Timing is a one-instruction-per-cycle base plus
+    penalty cycles — deliberately simple, but every penalty source the paper
+    measures (D/I-cache misses, mispredicts, store-buffer pressure, FP
+    latency) is present and is perturbed by instrumentation code exactly as
+    on real hardware. *)
+
+type t
+
+val create : Config.t -> t
+val config : t -> Config.t
+val counters : t -> Counters.t
+
+(** Current cycle count. *)
+val now : t -> int
+
+(** Fetch one instruction slot at a code address. *)
+val fetch : t -> addr:int -> unit
+
+(** Data read of the word at [addr]. *)
+val load : t -> addr:int -> unit
+
+(** Data write of the word at [addr]. *)
+val store : t -> addr:int -> unit
+
+(** Conditional branch at code address [addr] resolving to [taken]. *)
+val branch : t -> addr:int -> taken:bool -> unit
+
+val fp_issue :
+  t -> cls:Fp_unit.op_class -> dst:int -> srcs:int list -> unit
+
+(** A non-FP consumer (store, compare, conversion) waits on FP register
+    [src]. *)
+val fp_use : t -> src:int -> unit
+
+(** FP register [dst] defined by a non-arithmetic producer. *)
+val fp_define : t -> dst:int -> unit
+
+(** Make room for a procedure's FP registers and clear their ready times
+    (called on procedure entry; the model does not track FP pipelining
+    across calls). *)
+val fp_frame : t -> nregs:int -> unit
+
+(** Reset all state: caches, predictor, buffers, counters, clock. *)
+val reset : t -> unit

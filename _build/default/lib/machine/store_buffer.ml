@@ -1,0 +1,42 @@
+(* The FIFO holds each in-flight store's drain-completion cycle.  Drains are
+   serialised: a store begins draining only when its predecessor finished,
+   and no earlier than its own issue time. *)
+type t = {
+  entries : int;
+  fifo : int Queue.t;
+  mutable last_completion : int;
+}
+
+let create ~entries =
+  if entries <= 0 then invalid_arg "Store_buffer.create: entries <= 0";
+  { entries; fifo = Queue.create (); last_completion = 0 }
+
+let drain_completed t ~now =
+  while (not (Queue.is_empty t.fifo)) && Queue.peek t.fifo <= now do
+    ignore (Queue.pop t.fifo)
+  done
+
+let push t ~now ~drain =
+  if drain <= 0 then invalid_arg "Store_buffer.push: drain <= 0";
+  drain_completed t ~now;
+  let stall =
+    if Queue.length t.fifo < t.entries then 0
+    else begin
+      (* Full: wait for the oldest entry. *)
+      let oldest = Queue.pop t.fifo in
+      oldest - now
+    end
+  in
+  let issue = now + stall in
+  let completion = max issue t.last_completion + drain in
+  t.last_completion <- completion;
+  Queue.add completion t.fifo;
+  stall
+
+let clear t =
+  Queue.clear t.fifo;
+  t.last_completion <- 0
+
+let occupancy t ~now =
+  drain_completed t ~now;
+  Queue.length t.fifo

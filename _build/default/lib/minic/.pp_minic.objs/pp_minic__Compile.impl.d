@@ -1,0 +1,1 @@
+lib/minic/compile.ml: Ast Errors List Lower Parser Pp_ir Typecheck Typed

@@ -1,0 +1,1 @@
+lib/minic/errors.ml: Ast Format Printf

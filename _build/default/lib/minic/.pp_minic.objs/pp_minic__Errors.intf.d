@@ -1,0 +1,1 @@
+lib/minic/errors.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/minic/lexer.ml: Ast Errors List String Token

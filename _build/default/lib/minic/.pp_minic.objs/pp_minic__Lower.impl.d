@@ -1,0 +1,1 @@
+lib/minic/lower.ml: Array Ast Hashtbl List Option Pp_ir Typed

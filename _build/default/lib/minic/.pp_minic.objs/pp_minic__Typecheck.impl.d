@@ -1,0 +1,1 @@
+lib/minic/typecheck.ml: Ast Errors Hashtbl List Option Typed

@@ -1,0 +1,19 @@
+let program ~name src =
+  ignore name;
+  let ast = Parser.parse_string src in
+  (match ast.Ast.funcs with
+  | [] -> Errors.fail { Ast.line = 1; col = 1 } "no functions defined"
+  | _ -> ());
+  let typed = Typecheck.check ast in
+  (match
+     List.find_opt (fun f -> f.Typed.tfname = "main") typed.Typed.tfuncs
+   with
+  | None -> Errors.fail { Ast.line = 1; col = 1 } "no main function"
+  | Some f ->
+      if f.Typed.tparams <> [] || f.Typed.tret <> Ast.Tvoid then
+        Errors.fail { Ast.line = 1; col = 1 } "main must be void main()");
+  let procs = List.map Lower.lower_func typed.Typed.tfuncs in
+  let globals = Lower.lower_globals typed.Typed.tglobals in
+  let prog = Pp_ir.Program.make ~procs ~globals ~main:"main" in
+  Pp_ir.Validate.run prog;
+  prog

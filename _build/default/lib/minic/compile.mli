@@ -1,0 +1,9 @@
+(** The MiniC compiler driver: source text to a validated IR program. *)
+
+(** [program ~name src] lexes, parses, typechecks, lowers and validates.
+    [name] is used in diagnostics only.  The program must define
+    [void main()].
+    @raise Errors.Error on lexical/syntax/type errors
+    @raise Pp_ir.Validate.Invalid if lowering produced invalid IR (a
+    compiler bug, e.g. a block that cannot reach a return). *)
+val program : name:string -> string -> Pp_ir.Program.t

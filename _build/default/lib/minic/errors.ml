@@ -1,0 +1,7 @@
+exception Error of Ast.pos * string
+
+let fail pos fmt =
+  Format.kasprintf (fun s -> raise (Error (pos, s))) fmt
+
+let to_string ~file (pos : Ast.pos) msg =
+  Printf.sprintf "%s:%d:%d: %s" file pos.line pos.col msg

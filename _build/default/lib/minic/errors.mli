@@ -1,0 +1,9 @@
+(** Compilation diagnostics shared by the lexer, parser and typechecker. *)
+
+exception Error of Ast.pos * string
+
+(** @raise Error *)
+val fail : Ast.pos -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** ["file.mc:3:14: message"]-style rendering. *)
+val to_string : file:string -> Ast.pos -> string -> string

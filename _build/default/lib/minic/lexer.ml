@@ -1,0 +1,183 @@
+type state = {
+  src : string;
+  mutable offset : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let pos st = { Ast.line = st.line; col = st.col }
+
+let peek st =
+  if st.offset < String.length st.src then Some st.src.[st.offset] else None
+
+let peek2 st =
+  if st.offset + 1 < String.length st.src then Some st.src.[st.offset + 1]
+  else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.offset <- st.offset + 1
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+let keyword_of_ident = function
+  | "int" -> Some Token.KW_INT
+  | "float" -> Some Token.KW_FLOAT
+  | "void" -> Some Token.KW_VOID
+  | "funptr" -> Some Token.KW_FUNPTR
+  | "if" -> Some Token.KW_IF
+  | "else" -> Some Token.KW_ELSE
+  | "while" -> Some Token.KW_WHILE
+  | "for" -> Some Token.KW_FOR
+  | "break" -> Some Token.KW_BREAK
+  | "continue" -> Some Token.KW_CONTINUE
+  | "return" -> Some Token.KW_RETURN
+  | "print" -> Some Token.KW_PRINT
+  | _ -> None
+
+let rec skip_space_and_comments st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_space_and_comments st
+  | Some '/' when peek2 st = Some '/' ->
+      let rec to_eol () =
+        match peek st with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance st;
+            to_eol ()
+      in
+      to_eol ();
+      skip_space_and_comments st
+  | Some '/' when peek2 st = Some '*' ->
+      let start = pos st in
+      advance st;
+      advance st;
+      let rec to_close () =
+        match (peek st, peek2 st) with
+        | Some '*', Some '/' ->
+            advance st;
+            advance st
+        | None, _ -> Errors.fail start "unterminated comment"
+        | Some _, _ ->
+            advance st;
+            to_close ()
+      in
+      to_close ();
+      skip_space_and_comments st
+  | Some _ | None -> ()
+
+let lex_number st =
+  let start = st.offset in
+  let p = pos st in
+  while (match peek st with Some c -> is_digit c | None -> false) do
+    advance st
+  done;
+  let is_float =
+    match (peek st, peek2 st) with
+    | Some '.', Some c when is_digit c -> true
+    | Some '.', (Some _ | None) ->
+        Errors.fail (pos st) "digit expected after decimal point"
+    | _ -> false
+  in
+  if is_float then begin
+    advance st;
+    (* consume '.' *)
+    while (match peek st with Some c -> is_digit c | None -> false) do
+      advance st
+    done;
+    (* optional exponent *)
+    (match peek st with
+    | Some ('e' | 'E') ->
+        advance st;
+        (match peek st with
+        | Some ('+' | '-') -> advance st
+        | Some _ | None -> ());
+        if not (match peek st with Some c -> is_digit c | None -> false)
+        then Errors.fail (pos st) "malformed exponent";
+        while (match peek st with Some c -> is_digit c | None -> false) do
+          advance st
+        done
+    | Some _ | None -> ());
+    let text = String.sub st.src start (st.offset - start) in
+    (Token.FLOAT_LIT (float_of_string text), p)
+  end
+  else begin
+    let text = String.sub st.src start (st.offset - start) in
+    match int_of_string_opt text with
+    | Some n -> (Token.INT_LIT n, p)
+    | None -> Errors.fail p "integer literal %s too large" text
+  end
+
+let lex_ident st =
+  let start = st.offset in
+  let p = pos st in
+  while (match peek st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  let text = String.sub st.src start (st.offset - start) in
+  match keyword_of_ident text with
+  | Some kw -> (kw, p)
+  | None -> (Token.IDENT text, p)
+
+let lex_punct st =
+  let p = pos st in
+  let two tok =
+    advance st;
+    advance st;
+    (tok, p)
+  in
+  let one tok =
+    advance st;
+    (tok, p)
+  in
+  match (peek st, peek2 st) with
+  | Some '=', Some '=' -> two Token.EQ
+  | Some '!', Some '=' -> two Token.NE
+  | Some '<', Some '=' -> two Token.LE
+  | Some '>', Some '=' -> two Token.GE
+  | Some '&', Some '&' -> two Token.AMPAMP
+  | Some '|', Some '|' -> two Token.BARBAR
+  | Some '=', _ -> one Token.ASSIGN
+  | Some '!', _ -> one Token.BANG
+  | Some '<', _ -> one Token.LT
+  | Some '>', _ -> one Token.GT
+  | Some '&', _ -> one Token.AMP
+  | Some '(', _ -> one Token.LPAREN
+  | Some ')', _ -> one Token.RPAREN
+  | Some '{', _ -> one Token.LBRACE
+  | Some '}', _ -> one Token.RBRACE
+  | Some '[', _ -> one Token.LBRACKET
+  | Some ']', _ -> one Token.RBRACKET
+  | Some ',', _ -> one Token.COMMA
+  | Some ';', _ -> one Token.SEMI
+  | Some '+', _ -> one Token.PLUS
+  | Some '-', _ -> one Token.MINUS
+  | Some '*', _ -> one Token.STAR
+  | Some '/', _ -> one Token.SLASH
+  | Some '%', _ -> one Token.PERCENT
+  | Some c, _ -> Errors.fail p "unexpected character %C" c
+  | None, _ -> assert false
+
+let tokenize src =
+  let st = { src; offset = 0; line = 1; col = 1 } in
+  let rec loop acc =
+    skip_space_and_comments st;
+    match peek st with
+    | None -> List.rev ((Token.EOF, pos st) :: acc)
+    | Some c when is_digit c -> loop (lex_number st :: acc)
+    | Some c when is_ident_start c -> loop (lex_ident st :: acc)
+    | Some _ -> loop (lex_punct st :: acc)
+  in
+  loop []

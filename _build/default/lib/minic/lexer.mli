@@ -1,0 +1,6 @@
+(** Hand-written lexer over an in-memory source string. *)
+
+(** [tokenize src] produces the token stream, each with its position.
+    Comments are [//] to end of line and [/* ... */] (non-nesting).
+    @raise Errors.Error on malformed input. *)
+val tokenize : string -> (Token.t * Ast.pos) list

@@ -1,0 +1,13 @@
+(** Lowering from the typed AST to the IR.
+
+    Conventions: integer parameters arrive in [r0..], float parameters in
+    [f0..]; scalar locals live in fresh virtual registers (zero-initialised
+    for determinism); local arrays live in the activation frame, addressed
+    with [Frameaddr]; globals are addressed through [Iconst_sym].  Falling
+    off the end of a function returns 0 / 0.0 / void. *)
+
+val lower_func : Typed.tfunc -> Pp_ir.Proc.t
+
+(** Globals of the typed program as IR program globals (sizes in words,
+    literal initialisers evaluated). *)
+val lower_globals : Ast.global_decl list -> Pp_ir.Program.global list

@@ -1,0 +1,468 @@
+open Ast
+
+type state = { tokens : (Token.t * pos) array; mutable cursor : int }
+
+let current st = fst st.tokens.(st.cursor)
+let current_pos st = snd st.tokens.(st.cursor)
+
+let advance st =
+  if st.cursor < Array.length st.tokens - 1 then st.cursor <- st.cursor + 1
+
+let expect st tok =
+  if current st = tok then advance st
+  else
+    Errors.fail (current_pos st) "expected %s, found %s" (Token.describe tok)
+      (Token.describe (current st))
+
+let expect_ident st =
+  match current st with
+  | Token.IDENT name ->
+      advance st;
+      name
+  | t -> Errors.fail (current_pos st) "expected identifier, found %s"
+           (Token.describe t)
+
+let expect_int st =
+  match current st with
+  | Token.INT_LIT n ->
+      advance st;
+      n
+  | t -> Errors.fail (current_pos st) "expected integer, found %s"
+           (Token.describe t)
+
+let data_type st =
+  match current st with
+  | Token.KW_INT ->
+      advance st;
+      Tint
+  | Token.KW_FLOAT ->
+      advance st;
+      Tfloat
+  | Token.KW_FUNPTR ->
+      advance st;
+      Tfunptr
+  | t ->
+      Errors.fail (current_pos st) "expected a type, found %s"
+        (Token.describe t)
+
+(* --- expressions --- *)
+
+let rec expr st = lor_expr st
+
+and lor_expr st =
+  let left = land_expr st in
+  if current st = Token.BARBAR then begin
+    let p = current_pos st in
+    advance st;
+    let right = lor_expr st in
+    { edesc = Binop (Lor, left, right); epos = p }
+  end
+  else left
+
+and land_expr st =
+  let left = eq_expr st in
+  if current st = Token.AMPAMP then begin
+    let p = current_pos st in
+    advance st;
+    let right = land_expr st in
+    { edesc = Binop (Land, left, right); epos = p }
+  end
+  else left
+
+and eq_expr st =
+  let rec loop left =
+    match current st with
+    | Token.EQ | Token.NE ->
+        let op = if current st = Token.EQ then Eq else Ne in
+        let p = current_pos st in
+        advance st;
+        let right = rel_expr st in
+        loop { edesc = Binop (op, left, right); epos = p }
+    | _ -> left
+  in
+  loop (rel_expr st)
+
+and rel_expr st =
+  let rec loop left =
+    match current st with
+    | Token.LT | Token.LE | Token.GT | Token.GE ->
+        let op =
+          match current st with
+          | Token.LT -> Lt
+          | Token.LE -> Le
+          | Token.GT -> Gt
+          | _ -> Ge
+        in
+        let p = current_pos st in
+        advance st;
+        let right = add_expr st in
+        loop { edesc = Binop (op, left, right); epos = p }
+    | _ -> left
+  in
+  loop (add_expr st)
+
+and add_expr st =
+  let rec loop left =
+    match current st with
+    | Token.PLUS | Token.MINUS ->
+        let op = if current st = Token.PLUS then Add else Sub in
+        let p = current_pos st in
+        advance st;
+        let right = mul_expr st in
+        loop { edesc = Binop (op, left, right); epos = p }
+    | _ -> left
+  in
+  loop (mul_expr st)
+
+and mul_expr st =
+  let rec loop left =
+    match current st with
+    | Token.STAR | Token.SLASH | Token.PERCENT ->
+        let op =
+          match current st with
+          | Token.STAR -> Mul
+          | Token.SLASH -> Div
+          | _ -> Rem
+        in
+        let p = current_pos st in
+        advance st;
+        let right = unary_expr st in
+        loop { edesc = Binop (op, left, right); epos = p }
+    | _ -> left
+  in
+  loop (unary_expr st)
+
+and unary_expr st =
+  match current st with
+  | Token.MINUS ->
+      let p = current_pos st in
+      advance st;
+      { edesc = Unop (Neg, unary_expr st); epos = p }
+  | Token.BANG ->
+      let p = current_pos st in
+      advance st;
+      { edesc = Unop (Not, unary_expr st); epos = p }
+  | _ -> primary_expr st
+
+and call_args st =
+  expect st Token.LPAREN;
+  let rec loop acc =
+    if current st = Token.RPAREN then begin
+      advance st;
+      List.rev acc
+    end
+    else begin
+      let e = expr st in
+      match current st with
+      | Token.COMMA ->
+          advance st;
+          loop (e :: acc)
+      | Token.RPAREN ->
+          advance st;
+          List.rev (e :: acc)
+      | t ->
+          Errors.fail (current_pos st) "expected ',' or ')', found %s"
+            (Token.describe t)
+    end
+  in
+  loop []
+
+and index_list st =
+  let rec loop acc =
+    if current st = Token.LBRACKET then begin
+      advance st;
+      let e = expr st in
+      expect st Token.RBRACKET;
+      loop (e :: acc)
+    end
+    else List.rev acc
+  in
+  loop []
+
+and primary_expr st =
+  let p = current_pos st in
+  match current st with
+  | Token.INT_LIT n ->
+      advance st;
+      { edesc = Int_lit n; epos = p }
+  | Token.FLOAT_LIT x ->
+      advance st;
+      { edesc = Float_lit x; epos = p }
+  | Token.LPAREN ->
+      advance st;
+      let e = expr st in
+      expect st Token.RPAREN;
+      e
+  | Token.AMP ->
+      advance st;
+      let name = expect_ident st in
+      { edesc = Addr_of name; epos = p }
+  | Token.KW_INT ->
+      advance st;
+      let e =
+        let _ = expect st Token.LPAREN in
+        let e = expr st in
+        expect st Token.RPAREN;
+        e
+      in
+      { edesc = Cast (Tint, e); epos = p }
+  | Token.KW_FLOAT ->
+      advance st;
+      let e =
+        let _ = expect st Token.LPAREN in
+        let e = expr st in
+        expect st Token.RPAREN;
+        e
+      in
+      { edesc = Cast (Tfloat, e); epos = p }
+  | Token.IDENT name -> (
+      advance st;
+      match current st with
+      | Token.LPAREN -> { edesc = Call (name, call_args st); epos = p }
+      | Token.LBRACKET ->
+          let idx = index_list st in
+          { edesc = Index (name, idx); epos = p }
+      | _ -> { edesc = Var name; epos = p })
+  | t ->
+      Errors.fail p "expected an expression, found %s" (Token.describe t)
+
+(* --- statements --- *)
+
+let lvalue_of_expr (e : expr) =
+  match e.edesc with
+  | Var name -> Lvar name
+  | Index (name, idx) -> Lindex (name, idx)
+  | _ -> Errors.fail e.epos "this expression cannot be assigned to"
+
+(* An assignment or a call, without the trailing semicolon (shared by
+   statements and for-headers). *)
+let rec simple_stmt st =
+  let p = current_pos st in
+  let e = expr st in
+  match current st with
+  | Token.ASSIGN ->
+      advance st;
+      let rhs = expr st in
+      { sdesc = Assign (lvalue_of_expr e, rhs); spos = p }
+  | _ -> (
+      match e.edesc with
+      | Call _ -> { sdesc = Expr e; spos = p }
+      | _ ->
+          Errors.fail p
+            "expected an assignment or a call statement")
+
+and stmt st =
+  let p = current_pos st in
+  match current st with
+  | Token.KW_INT | Token.KW_FLOAT | Token.KW_FUNPTR ->
+      (* A declaration — unless it is a cast expression statement, which
+         MiniC does not allow at statement head. *)
+      let ty = data_type st in
+      let name = expect_ident st in
+      let dims =
+        if current st = Token.LBRACKET then begin
+          advance st;
+          let n = expect_int st in
+          expect st Token.RBRACKET;
+          [ n ]
+        end
+        else []
+      in
+      let init =
+        if current st = Token.ASSIGN then begin
+          advance st;
+          Some (expr st)
+        end
+        else None
+      in
+      expect st Token.SEMI;
+      { sdesc = Decl (ty, name, dims, init); spos = p }
+  | Token.KW_IF ->
+      advance st;
+      expect st Token.LPAREN;
+      let cond = expr st in
+      expect st Token.RPAREN;
+      let then_branch = block st in
+      let else_branch =
+        if current st = Token.KW_ELSE then begin
+          advance st;
+          if current st = Token.KW_IF then [ stmt st ] else block st
+        end
+        else []
+      in
+      { sdesc = If (cond, then_branch, else_branch); spos = p }
+  | Token.KW_WHILE ->
+      advance st;
+      expect st Token.LPAREN;
+      let cond = expr st in
+      expect st Token.RPAREN;
+      let body = block st in
+      { sdesc = While (cond, body); spos = p }
+  | Token.KW_FOR ->
+      advance st;
+      expect st Token.LPAREN;
+      let init =
+        if current st = Token.SEMI then None else Some (simple_stmt st)
+      in
+      expect st Token.SEMI;
+      let cond = if current st = Token.SEMI then None else Some (expr st) in
+      expect st Token.SEMI;
+      let step =
+        if current st = Token.RPAREN then None else Some (simple_stmt st)
+      in
+      expect st Token.RPAREN;
+      let body = block st in
+      { sdesc = For (init, cond, step, body); spos = p }
+  | Token.KW_BREAK ->
+      advance st;
+      expect st Token.SEMI;
+      { sdesc = Break; spos = p }
+  | Token.KW_CONTINUE ->
+      advance st;
+      expect st Token.SEMI;
+      { sdesc = Continue; spos = p }
+  | Token.KW_RETURN ->
+      advance st;
+      let v = if current st = Token.SEMI then None else Some (expr st) in
+      expect st Token.SEMI;
+      { sdesc = Return v; spos = p }
+  | Token.KW_PRINT ->
+      advance st;
+      expect st Token.LPAREN;
+      let e = expr st in
+      expect st Token.RPAREN;
+      expect st Token.SEMI;
+      { sdesc = Print e; spos = p }
+  | _ ->
+      let s = simple_stmt st in
+      expect st Token.SEMI;
+      s
+
+and block st =
+  expect st Token.LBRACE;
+  let rec loop acc =
+    if current st = Token.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else loop (stmt st :: acc)
+  in
+  loop []
+
+(* --- top level --- *)
+
+let literal_expr st =
+  (* Global initialisers are literals, possibly negated. *)
+  let p = current_pos st in
+  let neg = current st = Token.MINUS in
+  if neg then advance st;
+  match current st with
+  | Token.INT_LIT n ->
+      advance st;
+      let e = { edesc = Int_lit n; epos = p } in
+      if neg then { edesc = Unop (Neg, e); epos = p } else e
+  | Token.FLOAT_LIT x ->
+      advance st;
+      let e = { edesc = Float_lit x; epos = p } in
+      if neg then { edesc = Unop (Neg, e); epos = p } else e
+  | t ->
+      Errors.fail p "expected a literal initialiser, found %s"
+        (Token.describe t)
+
+let global_init st =
+  if current st <> Token.ASSIGN then None
+  else begin
+    advance st;
+    if current st = Token.LBRACE then begin
+      advance st;
+      let rec loop acc =
+        let e = literal_expr st in
+        match current st with
+        | Token.COMMA ->
+            advance st;
+            loop (e :: acc)
+        | Token.RBRACE ->
+            advance st;
+            List.rev (e :: acc)
+        | t ->
+            Errors.fail (current_pos st) "expected ',' or '}', found %s"
+              (Token.describe t)
+      in
+      Some (Glist (loop []))
+    end
+    else Some (Gscalar (literal_expr st))
+  end
+
+let parse tokens =
+  let st = { tokens = Array.of_list tokens; cursor = 0 } in
+  let globals = ref [] in
+  let funcs = ref [] in
+  let rec top () =
+    if current st = Token.EOF then ()
+    else begin
+      let p = current_pos st in
+      let ret_ty =
+        match current st with
+        | Token.KW_VOID ->
+            advance st;
+            Tvoid
+        | _ -> data_type st
+      in
+      let name = expect_ident st in
+      if current st = Token.LPAREN then begin
+        (* function definition *)
+        advance st;
+        let rec params acc =
+          if current st = Token.RPAREN then begin
+            advance st;
+            List.rev acc
+          end
+          else begin
+            let pty = data_type st in
+            let pname = expect_ident st in
+            match current st with
+            | Token.COMMA ->
+                advance st;
+                params ({ pty; pname } :: acc)
+            | Token.RPAREN ->
+                advance st;
+                List.rev ({ pty; pname } :: acc)
+            | t ->
+                Errors.fail (current_pos st)
+                  "expected ',' or ')', found %s" (Token.describe t)
+          end
+        in
+        let params = params [] in
+        let body = block st in
+        funcs := { fname = name; params; ret = ret_ty; body; fpos = p }
+                 :: !funcs
+      end
+      else begin
+        (* global declaration *)
+        if ret_ty = Tvoid then
+          Errors.fail p "a global cannot have type void";
+        let dims =
+          let rec loop acc =
+            if current st = Token.LBRACKET then begin
+              advance st;
+              let n = expect_int st in
+              expect st Token.RBRACKET;
+              loop (n :: acc)
+            end
+            else List.rev acc
+          in
+          loop []
+        in
+        let ginit = global_init st in
+        expect st Token.SEMI;
+        globals :=
+          { gty = ret_ty; gname = name; gdims = dims; ginit; gpos = p }
+          :: !globals
+      end;
+      top ()
+    end
+  in
+  top ();
+  { globals = List.rev !globals; funcs = List.rev !funcs }
+
+let parse_string src = parse (Lexer.tokenize src)

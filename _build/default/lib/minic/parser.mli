@@ -1,0 +1,7 @@
+(** Recursive-descent parser for MiniC.
+
+    @raise Errors.Error on syntax errors. *)
+val parse : (Token.t * Ast.pos) list -> Ast.program
+
+(** Convenience: [parse_string src] is [parse (Lexer.tokenize src)]. *)
+val parse_string : string -> Ast.program

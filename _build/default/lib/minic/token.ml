@@ -1,0 +1,83 @@
+type t =
+  | INT_LIT of int
+  | FLOAT_LIT of float
+  | IDENT of string
+  | KW_INT
+  | KW_FLOAT
+  | KW_VOID
+  | KW_FUNPTR
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_FOR
+  | KW_BREAK
+  | KW_CONTINUE
+  | KW_RETURN
+  | KW_PRINT
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | ASSIGN
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | AMPAMP
+  | BARBAR
+  | BANG
+  | AMP
+  | EOF
+
+let describe = function
+  | INT_LIT n -> Printf.sprintf "integer %d" n
+  | FLOAT_LIT x -> Printf.sprintf "float %g" x
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | KW_INT -> "'int'"
+  | KW_FLOAT -> "'float'"
+  | KW_VOID -> "'void'"
+  | KW_FUNPTR -> "'funptr'"
+  | KW_IF -> "'if'"
+  | KW_ELSE -> "'else'"
+  | KW_WHILE -> "'while'"
+  | KW_FOR -> "'for'"
+  | KW_BREAK -> "'break'"
+  | KW_CONTINUE -> "'continue'"
+  | KW_RETURN -> "'return'"
+  | KW_PRINT -> "'print'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | COMMA -> "','"
+  | SEMI -> "';'"
+  | ASSIGN -> "'='"
+  | EQ -> "'=='"
+  | NE -> "'!='"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | PERCENT -> "'%'"
+  | AMPAMP -> "'&&'"
+  | BARBAR -> "'||'"
+  | BANG -> "'!'"
+  | AMP -> "'&'"
+  | EOF -> "end of file"

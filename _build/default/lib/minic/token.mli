@@ -1,0 +1,45 @@
+(** Lexical tokens of MiniC. *)
+
+type t =
+  | INT_LIT of int
+  | FLOAT_LIT of float
+  | IDENT of string
+  | KW_INT
+  | KW_FLOAT
+  | KW_VOID
+  | KW_FUNPTR
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_FOR
+  | KW_BREAK
+  | KW_CONTINUE
+  | KW_RETURN
+  | KW_PRINT
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | ASSIGN  (** [=] *)
+  | EQ  (** [==] *)
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | AMPAMP
+  | BARBAR
+  | BANG
+  | AMP
+  | EOF
+
+val describe : t -> string

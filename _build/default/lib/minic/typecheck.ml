@@ -1,0 +1,354 @@
+open Ast
+open Typed
+
+type var_info =
+  | Scalar of storage * ty
+  | Array of storage * ty * int list
+
+type func_info = { sig_params : ty list; sig_ret : ty }
+
+type env = {
+  funcs : (string, func_info) Hashtbl.t;
+  globals : (string, var_info) Hashtbl.t;
+  locals : (string, var_info) Hashtbl.t;  (* per function *)
+  ret : ty;
+}
+
+let fail = Errors.fail
+
+let lookup_var env pos name =
+  match Hashtbl.find_opt env.locals name with
+  | Some v -> v
+  | None -> (
+      match Hashtbl.find_opt env.globals name with
+      | Some v -> v
+      | None -> fail pos "unknown variable %s" name)
+
+let rec check_expr env (e : expr) : texpr =
+  let pos = e.epos in
+  match e.edesc with
+  | Int_lit n -> { ety = Tint; edesc = Tint_lit n }
+  | Float_lit x -> { ety = Tfloat; edesc = Tfloat_lit x }
+  | Var name -> (
+      match lookup_var env pos name with
+      | Scalar (st, ty) -> { ety = ty; edesc = Tvar (st, name) }
+      | Array _ ->
+          fail pos "array %s cannot be used as a scalar value" name)
+  | Index (name, indices) -> (
+      match lookup_var env pos name with
+      | Scalar _ -> fail pos "%s is not an array" name
+      | Array (st, ty, dims) ->
+          if List.length indices <> List.length dims then
+            fail pos "%s has %d dimension(s), %d index(es) given" name
+              (List.length dims) (List.length indices);
+          let tindices =
+            List.map
+              (fun ix ->
+                let t = check_expr env ix in
+                if t.ety <> Tint then
+                  fail ix.epos "array index must be int, found %s"
+                    (ty_name t.ety);
+                t)
+              indices
+          in
+          { ety = ty; edesc = Tindex (st, name, dims, tindices) })
+  | Unop (Neg, e1) ->
+      let t = check_expr env e1 in
+      if t.ety <> Tint && t.ety <> Tfloat then
+        fail pos "cannot negate a %s" (ty_name t.ety);
+      { ety = t.ety; edesc = Tunop (Neg, t) }
+  | Unop (Not, e1) ->
+      let t = check_expr env e1 in
+      if t.ety <> Tint then fail pos "'!' needs an int operand";
+      { ety = Tint; edesc = Tunop (Not, t) }
+  | Binop (op, e1, e2) -> check_binop env pos op e1 e2
+  | Call (name, args) -> check_call env pos name args
+  | Addr_of name -> (
+      match Hashtbl.find_opt env.funcs name with
+      | None -> fail pos "&%s: unknown function" name
+      | Some info ->
+          if info.sig_ret <> Tint
+             || List.exists (fun t -> t <> Tint) info.sig_params then
+            fail pos
+              "&%s: only (int, ..., int) -> int functions can have their \
+               address taken"
+              name;
+          { ety = Tfunptr; edesc = Taddr_of name })
+  | Cast (to_ty, e1) ->
+      let t = check_expr env e1 in
+      (match (to_ty, t.ety) with
+      | Tint, (Tint | Tfloat) | Tfloat, (Tint | Tfloat) -> ()
+      | _ ->
+          fail pos "cannot cast %s to %s" (ty_name t.ety) (ty_name to_ty));
+      if to_ty = t.ety then t else { ety = to_ty; edesc = Tcast (to_ty, t) }
+
+and check_binop env pos op e1 e2 =
+  let t1 = check_expr env e1 in
+  let t2 = check_expr env e2 in
+  let operand_ty =
+    if t1.ety <> t2.ety then
+      fail pos "operand types differ: %s vs %s (no implicit conversions)"
+        (ty_name t1.ety) (ty_name t2.ety)
+    else t1.ety
+  in
+  let arith result_ok =
+    if not result_ok then
+      fail pos "operator not defined on %s" (ty_name operand_ty)
+  in
+  match op with
+  | Add | Sub | Mul | Div ->
+      arith (operand_ty = Tint || operand_ty = Tfloat);
+      { ety = operand_ty; edesc = Tbinop (op, operand_ty, t1, t2) }
+  | Rem ->
+      arith (operand_ty = Tint);
+      { ety = Tint; edesc = Tbinop (op, operand_ty, t1, t2) }
+  | Eq | Ne ->
+      arith (operand_ty = Tint || operand_ty = Tfloat
+             || operand_ty = Tfunptr);
+      { ety = Tint; edesc = Tbinop (op, operand_ty, t1, t2) }
+  | Lt | Le | Gt | Ge ->
+      arith (operand_ty = Tint || operand_ty = Tfloat);
+      { ety = Tint; edesc = Tbinop (op, operand_ty, t1, t2) }
+  | Land | Lor ->
+      arith (operand_ty = Tint);
+      { ety = Tint; edesc = Tbinop (op, operand_ty, t1, t2) }
+
+and check_call env pos name args =
+  (* A call through a funptr variable is indirect; otherwise the name must
+     be a declared function. *)
+  let funptr_var =
+    match Hashtbl.find_opt env.locals name with
+    | Some (Scalar (st, Tfunptr)) -> Some (st, name)
+    | _ -> (
+        match Hashtbl.find_opt env.globals name with
+        | Some (Scalar (st, Tfunptr)) -> Some (st, name)
+        | _ -> None)
+  in
+  match funptr_var with
+  | Some (st, vname) ->
+      let targs =
+        List.map
+          (fun a ->
+            let t = check_expr env a in
+            if t.ety <> Tint then
+              fail a.epos "indirect call arguments must be int";
+            t)
+          args
+      in
+      {
+        ety = Tint;
+        edesc = Tcall_ind ({ ety = Tfunptr; edesc = Tvar (st, vname) }, targs);
+      }
+  | None -> (
+      match Hashtbl.find_opt env.funcs name with
+      | None -> fail pos "call to unknown function %s" name
+      | Some info ->
+          if List.length args <> List.length info.sig_params then
+            fail pos "%s expects %d argument(s), %d given" name
+              (List.length info.sig_params) (List.length args);
+          let targs =
+            List.map2
+              (fun a pty ->
+                let t = check_expr env a in
+                if t.ety <> pty then
+                  fail a.epos "argument has type %s, expected %s"
+                    (ty_name t.ety) (ty_name pty);
+                t)
+              args info.sig_params
+          in
+          { ety = info.sig_ret; edesc = Tcall (name, targs) })
+
+let check_lvalue env pos (lv : lvalue) =
+  match lv with
+  | Lvar name -> (
+      match lookup_var env pos name with
+      | Scalar (st, ty) -> (TLvar (st, ty, name), ty)
+      | Array _ -> fail pos "cannot assign to array %s as a whole" name)
+  | Lindex (name, indices) -> (
+      match lookup_var env pos name with
+      | Scalar _ -> fail pos "%s is not an array" name
+      | Array (st, ty, dims) ->
+          if List.length indices <> List.length dims then
+            fail pos "%s has %d dimension(s), %d index(es) given" name
+              (List.length dims) (List.length indices);
+          let tindices =
+            List.map
+              (fun ix ->
+                let t = check_expr env ix in
+                if t.ety <> Tint then fail ix.epos "array index must be int";
+                t)
+              indices
+          in
+          (TLindex (st, ty, name, dims, tindices), ty))
+
+let rec check_stmt env ~in_loop (s : stmt) : tstmt =
+  let pos = s.spos in
+  match s.sdesc with
+  | Decl (ty, name, dims, init) ->
+      if Hashtbl.mem env.locals name then
+        fail pos "redeclaration of %s" name;
+      if ty = Tvoid then fail pos "a variable cannot have type void";
+      (match dims with
+      | [] -> ()
+      | [ n ] ->
+          if n <= 0 then fail pos "array size must be positive";
+          if ty = Tfunptr then fail pos "arrays of funptr are not supported";
+          if init <> None then
+            fail pos "local arrays cannot have initialisers"
+      | _ -> fail pos "local arrays are one-dimensional");
+      let tinit =
+        Option.map
+          (fun e ->
+            let t = check_expr env e in
+            if t.ety <> ty then
+              fail e.epos "initialiser has type %s, expected %s"
+                (ty_name t.ety) (ty_name ty);
+            t)
+          init
+      in
+      let info =
+        if dims = [] then Scalar (Slocal, ty) else Array (Slocal, ty, dims)
+      in
+      Hashtbl.replace env.locals name info;
+      TSdecl (ty, name, dims, tinit)
+  | Assign (lv, e) ->
+      let tlv, lty = check_lvalue env pos lv in
+      let t = check_expr env e in
+      if t.ety <> lty then
+        fail pos "assignment of %s to %s lvalue" (ty_name t.ety)
+          (ty_name lty);
+      TSassign (tlv, t)
+  | If (cond, then_b, else_b) ->
+      let tc = check_expr env cond in
+      if tc.ety <> Tint then fail cond.epos "condition must be int";
+      TSif
+        ( tc,
+          List.map (check_stmt env ~in_loop) then_b,
+          List.map (check_stmt env ~in_loop) else_b )
+  | While (cond, body) ->
+      let tc = check_expr env cond in
+      if tc.ety <> Tint then fail cond.epos "condition must be int";
+      TSwhile (tc, List.map (check_stmt env ~in_loop:true) body)
+  | For (init, cond, step, body) ->
+      let tinit = Option.map (check_stmt env ~in_loop) init in
+      let tcond =
+        Option.map
+          (fun c ->
+            let t = check_expr env c in
+            if t.ety <> Tint then fail c.epos "condition must be int";
+            t)
+          cond
+      in
+      let tstep = Option.map (check_stmt env ~in_loop) step in
+      TSfor (tinit, tcond, tstep,
+             List.map (check_stmt env ~in_loop:true) body)
+  | Break ->
+      if not in_loop then fail pos "break outside a loop";
+      TSbreak
+  | Continue ->
+      if not in_loop then fail pos "continue outside a loop";
+      TScontinue
+  | Return None ->
+      if env.ret <> Tvoid then
+        fail pos "this function must return a %s" (ty_name env.ret);
+      TSreturn None
+  | Return (Some e) ->
+      let t = check_expr env e in
+      if env.ret = Tvoid then fail pos "void function returns a value";
+      if t.ety <> env.ret then
+        fail pos "returning %s from a %s function" (ty_name t.ety)
+          (ty_name env.ret);
+      TSreturn (Some t)
+  | Expr e -> (
+      let t = check_expr env e in
+      match t.edesc with
+      | Tcall _ | Tcall_ind _ -> TSexpr t
+      | _ -> fail pos "expression statements must be calls")
+  | Print e ->
+      let t = check_expr env e in
+      if t.ety <> Tint && t.ety <> Tfloat then
+        fail pos "print takes an int or float";
+      TSprint t
+
+let check_global (g : global_decl) =
+  (match g.gdims with
+  | [] | [ _ ] | [ _; _ ] -> ()
+  | _ -> fail g.gpos "globals have at most two dimensions");
+  List.iter
+    (fun n -> if n <= 0 then fail g.gpos "array dimension must be positive")
+    g.gdims;
+  if g.gty = Tfunptr && g.gdims <> [] then
+    fail g.gpos "arrays of funptr are not supported";
+  let lit_ty (e : expr) =
+    match e.edesc with
+    | Int_lit _ -> Tint
+    | Float_lit _ -> Tfloat
+    | Unop (Neg, { edesc = Int_lit _; _ }) -> Tint
+    | Unop (Neg, { edesc = Float_lit _; _ }) -> Tfloat
+    | _ -> fail e.epos "global initialisers must be literals"
+  in
+  (match (g.ginit, g.gdims) with
+  | None, _ -> ()
+  | Some (Gscalar e), [] ->
+      if lit_ty e <> g.gty then fail e.epos "initialiser type mismatch";
+      if g.gty = Tfunptr then
+        fail e.epos "funptr globals cannot be statically initialised"
+  | Some (Gscalar _), _ :: _ ->
+      fail g.gpos "array initialisers use { ... }"
+  | Some (Glist _), [] -> fail g.gpos "scalar initialisers are bare literals"
+  | Some (Glist es), dims ->
+      let size = List.fold_left ( * ) 1 dims in
+      if List.length es > size then
+        fail g.gpos "too many initialisers (%d for %d elements)"
+          (List.length es) size;
+      List.iter
+        (fun e ->
+          if lit_ty e <> g.gty then fail e.epos "initialiser type mismatch")
+        es)
+
+let check (prog : program) : tprogram =
+  let funcs = Hashtbl.create 32 in
+  let globals = Hashtbl.create 32 in
+  List.iter
+    (fun (f : func) ->
+      if Hashtbl.mem funcs f.fname then
+        fail f.fpos "redefinition of function %s" f.fname;
+      List.iter
+        (fun p ->
+          if p.pty = Tvoid then fail f.fpos "parameters cannot be void")
+        f.params;
+      Hashtbl.replace funcs f.fname
+        { sig_params = List.map (fun p -> p.pty) f.params; sig_ret = f.ret })
+    prog.funcs;
+  List.iter
+    (fun (g : global_decl) ->
+      if Hashtbl.mem globals g.gname || Hashtbl.mem funcs g.gname then
+        fail g.gpos "redefinition of %s" g.gname;
+      check_global g;
+      let info =
+        if g.gdims = [] then Scalar (Sglobal, g.gty)
+        else Array (Sglobal, g.gty, g.gdims)
+      in
+      Hashtbl.replace globals g.gname info)
+    prog.globals;
+  let tfuncs =
+    List.map
+      (fun (f : func) ->
+        let locals = Hashtbl.create 16 in
+        List.iter
+          (fun p ->
+            if Hashtbl.mem locals p.pname then
+              fail f.fpos "duplicate parameter %s" p.pname;
+            Hashtbl.replace locals p.pname (Scalar (Slocal, p.pty)))
+          f.params;
+        let env = { funcs; globals; locals; ret = f.ret } in
+        let tbody = List.map (check_stmt env ~in_loop:false) f.body in
+        {
+          tfname = f.fname;
+          tparams = List.map (fun p -> (p.pty, p.pname)) f.params;
+          tret = f.ret;
+          tbody;
+        })
+      prog.funcs
+  in
+  { tglobals = prog.globals; tfuncs }

@@ -1,0 +1,12 @@
+(** Type checking and name resolution.
+
+    MiniC's rules, briefly: [int] and [float] never mix implicitly (use
+    [int(e)] / [float(e)]); [%] is integer-only; comparisons yield [int];
+    [&&]/[||] are short-circuit over ints; a [funptr] holds [&f] for an [f]
+    of type [(int, ..., int) -> int] and calling one type-checks its
+    arguments as ints (arity is re-checked at run time by the VM); arrays
+    are global (1-D/2-D) or local (1-D), indexed by ints, not assignable as
+    wholes; locals are function-scoped and may not be redeclared.
+
+    @raise Errors.Error with a position on any violation. *)
+val check : Ast.program -> Typed.tprogram

@@ -1,0 +1,44 @@
+
+
+type storage = Sglobal | Slocal
+
+type texpr = { ety : Ast.ty; edesc : tdesc }
+
+and tdesc =
+  | Tint_lit of int
+  | Tfloat_lit of float
+  | Tvar of storage * string  
+  | Tindex of storage * string * int list * texpr list
+      
+  | Tunop of Ast.unop * texpr
+  | Tbinop of Ast.binop * Ast.ty * texpr * texpr
+      
+  | Tcall of string * texpr list
+  | Tcall_ind of texpr * texpr list  
+  | Taddr_of of string
+  | Tcast of Ast.ty * texpr
+
+type tlvalue =
+  | TLvar of storage * Ast.ty * string
+  | TLindex of storage * Ast.ty * string * int list * texpr list
+
+type tstmt =
+  | TSdecl of Ast.ty * string * int list * texpr option
+  | TSassign of tlvalue * texpr
+  | TSif of texpr * tstmt list * tstmt list
+  | TSwhile of texpr * tstmt list
+  | TSfor of tstmt option * texpr option * tstmt option * tstmt list
+  | TSbreak
+  | TScontinue
+  | TSreturn of texpr option
+  | TSexpr of texpr
+  | TSprint of texpr
+
+type tfunc = {
+  tfname : string;
+  tparams : (Ast.ty * string) list;
+  tret : Ast.ty;
+  tbody : tstmt list;
+}
+
+type tprogram = { tglobals : Ast.global_decl list; tfuncs : tfunc list }

@@ -1,0 +1,47 @@
+(** The typed abstract syntax produced by {!Typecheck} and consumed by
+    {!Lower}.  Variable references are resolved to a storage class; every
+    expression carries its type; arithmetic operators are already split by
+    operand class. *)
+
+type storage = Sglobal | Slocal
+
+type texpr = { ety : Ast.ty; edesc : tdesc }
+
+and tdesc =
+  | Tint_lit of int
+  | Tfloat_lit of float
+  | Tvar of storage * string  (** scalar (int, float or funptr) *)
+  | Tindex of storage * string * int list * texpr list
+      (** array element: storage, name, dims, indices (ints) *)
+  | Tunop of Ast.unop * texpr
+  | Tbinop of Ast.binop * Ast.ty * texpr * texpr
+      (** the [ty] is the operand type; the result type is [ety] *)
+  | Tcall of string * texpr list
+  | Tcall_ind of texpr * texpr list  (** target is a funptr expression *)
+  | Taddr_of of string
+  | Tcast of Ast.ty * texpr
+
+type tlvalue =
+  | TLvar of storage * Ast.ty * string
+  | TLindex of storage * Ast.ty * string * int list * texpr list
+
+type tstmt =
+  | TSdecl of Ast.ty * string * int list * texpr option
+  | TSassign of tlvalue * texpr
+  | TSif of texpr * tstmt list * tstmt list
+  | TSwhile of texpr * tstmt list
+  | TSfor of tstmt option * texpr option * tstmt option * tstmt list
+  | TSbreak
+  | TScontinue
+  | TSreturn of texpr option
+  | TSexpr of texpr
+  | TSprint of texpr
+
+type tfunc = {
+  tfname : string;
+  tparams : (Ast.ty * string) list;
+  tret : Ast.ty;
+  tbody : tstmt list;
+}
+
+type tprogram = { tglobals : Ast.global_decl list; tfuncs : tfunc list }

@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Array Float Format Hashtbl List Memory Pp_ir Pp_machine Runtime

@@ -1,0 +1,1 @@
+lib/vm/interp.mli: Format Memory Pp_ir Pp_machine Runtime

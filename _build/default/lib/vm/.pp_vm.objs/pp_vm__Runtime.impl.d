@@ -1,0 +1,1 @@
+lib/vm/runtime.ml: Array Hashtbl Pp_core Pp_machine Printf

@@ -1,0 +1,1 @@
+lib/vm/runtime.mli: Hashtbl Memory Pp_core Pp_machine

@@ -1,0 +1,469 @@
+module I = Pp_ir.Instr
+module Block = Pp_ir.Block
+module Proc = Pp_ir.Proc
+module Program = Pp_ir.Program
+module Layout = Pp_ir.Layout
+module Machine = Pp_machine.Machine
+module Counters = Pp_machine.Counters
+module Event = Pp_machine.Event
+module Fp_unit = Pp_machine.Fp_unit
+
+exception Trap of string
+
+let trap fmt = Format.kasprintf (fun s -> raise (Trap s)) fmt
+
+type output_item = Oint of int | Ofloat of float
+
+type result = {
+  counters : (Event.t * int) list;
+  output : output_item list;
+  cycles : int;
+  instructions : int;
+}
+
+(* Per-procedure execution image: instruction arrays (lists are too slow to
+   index), instruction addresses per slot, and the terminator address. *)
+type image = {
+  proc : Proc.t;
+  code : I.t array array;  (* per block *)
+  addrs : int array array;  (* per block, per instruction index *)
+  term_addr : int array;  (* per block *)
+  frame_bytes : int;  (* linkage area + local arrays *)
+}
+
+type t = {
+  prog : Program.t;
+  layout : Layout.t;
+  machine : Machine.t;
+  memory : Memory.t;
+  runtime : Runtime.t;
+  images : image array;
+  index_of : (string, int) Hashtbl.t;
+  index_of_addr : (int, int) Hashtbl.t;
+  main_index : int;
+  max_instructions : int;
+  mutable sp : int;
+  mutable output_rev : output_item list;
+  (* Stack sampling (7.2 comparison): outermost-last while running. *)
+  mutable call_stack : string list;
+  mutable sample_interval : int;  (* 0 = off *)
+  mutable next_sample : int;
+  samples : (string list, int ref) Hashtbl.t;
+  (* Block-entry ring buffer for post-mortem diagnostics. *)
+  mutable trace : (string * int) array;  (* empty = off *)
+  mutable trace_next : int;
+  mutable trace_filled : bool;
+}
+
+let linkage_bytes = 32
+
+let build_image layout (p : Proc.t) =
+  let nb = Proc.num_blocks p in
+  let code = Array.make nb [||] in
+  let addrs = Array.make nb [||] in
+  let term_addr = Array.make nb 0 in
+  Array.iter
+    (fun (b : Block.t) ->
+      let instrs = Array.of_list b.instrs in
+      code.(b.label) <- instrs;
+      let n = Array.length instrs in
+      addrs.(b.label) <-
+        Array.init n (fun i ->
+            Layout.instr_addr layout ~proc:p.name ~label:b.label ~index:i);
+      term_addr.(b.label) <-
+        Layout.instr_addr layout ~proc:p.name ~label:b.label ~index:n)
+    p.blocks;
+  {
+    proc = p;
+    code;
+    addrs;
+    term_addr;
+    frame_bytes = linkage_bytes + (p.frame_words * 8);
+  }
+
+let create ?(config = Pp_machine.Config.default)
+    ?(max_instructions = 2_000_000_000) ?(merge_call_sites = false) prog =
+  let layout = Layout.build prog in
+  let machine = Machine.create config in
+  (* Data segment covers the globals (table arrays included) with slack. *)
+  let data_size =
+    let need = Layout.data_end layout - Layout.data_base in
+    (need + 4096 + 7) land lnot 7
+  in
+  let memory =
+    Memory.create
+      [
+        ("data", Layout.data_base, data_size);
+        ("stack", Layout.stack_limit, Layout.stack_base - Layout.stack_limit);
+      ]
+  in
+  (* Initialise globals. *)
+  Array.iter
+    (fun (g : Program.global) ->
+      let base = Layout.global_addr layout g.gname in
+      match g.init with
+      | None -> ()
+      | Some (Program.Init_ints a) ->
+          Array.iteri (fun i v -> Memory.write_int memory (base + (8 * i)) v) a
+      | Some (Program.Init_floats a) ->
+          Array.iteri
+            (fun i v -> Memory.write_float memory (base + (8 * i)) v)
+            a)
+    prog.globals;
+  let runtime =
+    Runtime.create ~merge_call_sites ~machine ~memory
+      ~prof_base:Layout.prof_base ()
+  in
+  let images = Array.map (build_image layout) prog.procs in
+  let index_of = Hashtbl.create 32 in
+  let index_of_addr = Hashtbl.create 32 in
+  Array.iteri
+    (fun i (p : Proc.t) ->
+      Hashtbl.replace index_of p.name i;
+      Hashtbl.replace index_of_addr (Layout.proc_addr layout p.name) i)
+    prog.procs;
+  let main_index =
+    match Hashtbl.find_opt index_of prog.main with
+    | Some i -> i
+    | None -> invalid_arg "Interp.create: no main"
+  in
+  {
+    prog;
+    layout;
+    machine;
+    memory;
+    runtime;
+    images;
+    index_of;
+    index_of_addr;
+    main_index;
+    max_instructions;
+    sp = Layout.stack_base;
+    output_rev = [];
+    call_stack = [];
+    sample_interval = 0;
+    next_sample = 0;
+    samples = Hashtbl.create 64;
+    trace = [||];
+    trace_next = 0;
+    trace_filled = false;
+  }
+
+let enable_block_trace t ~capacity =
+  if capacity <= 0 then invalid_arg "Interp.enable_block_trace: capacity";
+  t.trace <- Array.make capacity ("", -1);
+  t.trace_next <- 0;
+  t.trace_filled <- false
+
+let recent_blocks t =
+  let cap = Array.length t.trace in
+  if cap = 0 then []
+  else begin
+    let count = if t.trace_filled then cap else t.trace_next in
+    List.init count (fun i ->
+        t.trace.((t.trace_next - 1 - i + (2 * cap)) mod cap))
+  end
+
+let record_block t proc label =
+  let cap = Array.length t.trace in
+  if cap > 0 then begin
+    t.trace.(t.trace_next) <- (proc, label);
+    t.trace_next <- t.trace_next + 1;
+    if t.trace_next >= cap then begin
+      t.trace_next <- 0;
+      t.trace_filled <- true
+    end
+  end
+
+let enable_sampling t ~interval =
+  if interval <= 0 then invalid_arg "Interp.enable_sampling: interval <= 0";
+  t.sample_interval <- interval;
+  t.next_sample <- Machine.now t.machine + interval
+
+let samples t =
+  Hashtbl.fold (fun k v acc -> (List.rev k, !v) :: acc) t.samples []
+  |> List.sort compare
+
+let take_samples t =
+  while t.sample_interval > 0 && Machine.now t.machine >= t.next_sample do
+    (match Hashtbl.find_opt t.samples t.call_stack with
+    | Some r -> incr r
+    | None -> Hashtbl.replace t.samples t.call_stack (ref 1));
+    t.next_sample <- t.next_sample + t.sample_interval
+  done
+
+let select_pics t ~pic0 ~pic1 =
+  Counters.select (Machine.counters t.machine) ~pic0 ~pic1
+
+let machine t = t.machine
+let memory t = t.memory
+let runtime t = t.runtime
+let layout t = t.layout
+let program t = t.prog
+
+type ret_value = Vint of int | Vfloat of float | Vvoid
+
+let shift_mask = 63
+
+let exec_ibinop op a b =
+  match op with
+  | I.Add -> a + b
+  | I.Sub -> a - b
+  | I.Mul -> a * b
+  | I.Div -> if b = 0 then trap "integer division by zero" else a / b
+  | I.Rem -> if b = 0 then trap "integer remainder by zero" else a mod b
+  | I.And -> a land b
+  | I.Or -> a lor b
+  | I.Xor -> a lxor b
+  | I.Shl -> a lsl (b land shift_mask)
+  | I.Shr -> a asr (b land shift_mask)
+
+let exec_icmp c a b =
+  let r =
+    match c with
+    | I.Eq -> a = b
+    | I.Ne -> a <> b
+    | I.Lt -> a < b
+    | I.Le -> a <= b
+    | I.Gt -> a > b
+    | I.Ge -> a >= b
+  in
+  if r then 1 else 0
+
+let exec_fcmp c (a : float) (b : float) =
+  let r =
+    match c with
+    | I.Eq -> a = b
+    | I.Ne -> a <> b
+    | I.Lt -> a < b
+    | I.Le -> a <= b
+    | I.Gt -> a > b
+    | I.Ge -> a >= b
+  in
+  if r then 1 else 0
+
+let fp_class = function
+  | I.Fadd | I.Fsub -> Fp_unit.Fp_add
+  | I.Fmul -> Fp_unit.Fp_mul
+  | I.Fdiv -> Fp_unit.Fp_div
+
+let exec_fbinop op (a : float) (b : float) =
+  match op with
+  | I.Fadd -> a +. b
+  | I.Fsub -> a -. b
+  | I.Fmul -> a *. b
+  | I.Fdiv -> a /. b
+
+let check_budget t =
+  if
+    Counters.total (Machine.counters t.machine) Event.Instructions
+    > t.max_instructions
+  then trap "instruction budget exhausted (%d)" t.max_instructions
+
+(* Execute one procedure activation; returns its value. *)
+let rec exec_proc t image ~iargs ~fargs =
+  let p = image.proc in
+  let niregs = p.Proc.niregs and nfregs = p.Proc.nfregs in
+  let iregs = Array.make (max niregs 1) 0 in
+  let fregs = Array.make (max nfregs 1) 0.0 in
+  List.iteri (fun i v -> iregs.(i) <- v) iargs;
+  List.iteri (fun i v -> fregs.(i) <- v) fargs;
+  let fp = t.sp - image.frame_bytes in
+  if fp < Layout.stack_limit then trap "stack overflow in %s" p.Proc.name;
+  let saved_sp = t.sp in
+  t.sp <- fp;
+  t.call_stack <- p.Proc.name :: t.call_stack;
+  Machine.fp_frame t.machine ~nregs:(max nfregs 1);
+  let mach = t.machine in
+  let rec run_block label =
+    if Array.length t.trace > 0 then record_block t p.Proc.name label;
+    let code = image.code.(label) in
+    let addrs = image.addrs.(label) in
+    let n = Array.length code in
+    for idx = 0 to n - 1 do
+      let addr = addrs.(idx) in
+      Machine.fetch mach ~addr;
+      exec_instr t image iregs fregs fp addr code.(idx)
+    done;
+    check_budget t;
+    if t.sample_interval > 0 then take_samples t;
+    let taddr = image.term_addr.(label) in
+    Machine.fetch mach ~addr:taddr;
+    match (Proc.block p label).term with
+    | Block.Jmp l -> run_block l
+    | Block.Br (r, tl, fl) ->
+        let taken = iregs.(r) <> 0 in
+        Machine.branch mach ~addr:taddr ~taken;
+        run_block (if taken then tl else fl)
+    | Block.Ret Block.Ret_void -> Vvoid
+    | Block.Ret (Block.Ret_int r) -> Vint iregs.(r)
+    | Block.Ret (Block.Ret_float f) ->
+        Machine.fp_use mach ~src:f;
+        Vfloat fregs.(f)
+  in
+  let v = run_block p.Proc.entry in
+  t.sp <- saved_sp;
+  (match t.call_stack with
+  | _ :: rest -> t.call_stack <- rest
+  | [] -> ());
+  v
+
+and exec_instr t image iregs fregs fp addr instr =
+  let mach = t.machine in
+  let counters = Machine.counters mach in
+  match instr with
+  | I.Iconst (rd, n) -> iregs.(rd) <- n
+  | I.Iconst_sym (rd, sym) -> (
+      match Layout.resolve t.layout sym with
+      | a -> iregs.(rd) <- a
+      | exception Not_found -> trap "unresolved symbol %s" sym)
+  | I.Fconst (fd, x) ->
+      fregs.(fd) <- x;
+      Machine.fp_define mach ~dst:fd
+  | I.Imov (rd, rs) -> iregs.(rd) <- iregs.(rs)
+  | I.Fmov (fd, fs) ->
+      Machine.fp_use mach ~src:fs;
+      fregs.(fd) <- fregs.(fs);
+      Machine.fp_define mach ~dst:fd
+  | I.Ibinop (op, rd, rs1, rs2) ->
+      iregs.(rd) <- exec_ibinop op iregs.(rs1) iregs.(rs2)
+  | I.Ibinop_imm (op, rd, rs, imm) ->
+      iregs.(rd) <- exec_ibinop op iregs.(rs) imm
+  | I.Icmp (c, rd, rs1, rs2) ->
+      iregs.(rd) <- exec_icmp c iregs.(rs1) iregs.(rs2)
+  | I.Icmp_imm (c, rd, rs, imm) ->
+      iregs.(rd) <- exec_icmp c iregs.(rs) imm
+  | I.Fbinop (op, fd, fs1, fs2) ->
+      Machine.fp_issue mach ~cls:(fp_class op) ~dst:fd ~srcs:[ fs1; fs2 ];
+      fregs.(fd) <- exec_fbinop op fregs.(fs1) fregs.(fs2)
+  | I.Fcmp (c, rd, fs1, fs2) ->
+      Machine.fp_use mach ~src:fs1;
+      Machine.fp_use mach ~src:fs2;
+      iregs.(rd) <- exec_fcmp c fregs.(fs1) fregs.(fs2)
+  | I.Itof (fd, rs) ->
+      fregs.(fd) <- float_of_int iregs.(rs);
+      Machine.fp_define mach ~dst:fd
+  | I.Ftoi (rd, fs) ->
+      Machine.fp_use mach ~src:fs;
+      let x = fregs.(fs) in
+      if Float.is_nan x || Float.abs x >= 4.6e18 then
+        trap "float-to-int out of range (%g)" x;
+      iregs.(rd) <- int_of_float x
+  | I.Load (rd, rb, off) ->
+      let a = iregs.(rb) + off in
+      Machine.load mach ~addr:a;
+      (try iregs.(rd) <- Memory.read_int t.memory a
+       with Memory.Fault m -> trap "load: %s" m)
+  | I.Store (rs, rb, off) ->
+      let a = iregs.(rb) + off in
+      Machine.store mach ~addr:a;
+      (try Memory.write_int t.memory a iregs.(rs)
+       with Memory.Fault m -> trap "store: %s" m)
+  | I.Fload (fd, rb, off) ->
+      let a = iregs.(rb) + off in
+      Machine.load mach ~addr:a;
+      (try fregs.(fd) <- Memory.read_float t.memory a
+       with Memory.Fault m -> trap "load: %s" m);
+      Machine.fp_define mach ~dst:fd
+  | I.Fstore (fs, rb, off) ->
+      Machine.fp_use mach ~src:fs;
+      let a = iregs.(rb) + off in
+      Machine.store mach ~addr:a;
+      (try Memory.write_float t.memory a fregs.(fs)
+       with Memory.Fault m -> trap "store: %s" m)
+  | I.Call { callee; args; fargs = fas; ret; _ } ->
+      let callee_idx =
+        match Hashtbl.find_opt t.index_of callee with
+        | Some i -> i
+        | None -> trap "call to unknown procedure %s" callee
+      in
+      do_call t image iregs fregs ~callee_idx ~args ~fas ~ret
+  | I.Callind { target; args; fargs = fas; ret; _ } ->
+      let a = iregs.(target) in
+      let callee_idx =
+        match Hashtbl.find_opt t.index_of_addr a with
+        | Some i -> i
+        | None -> trap "indirect call to non-procedure address 0x%x" a
+      in
+      let callee = t.images.(callee_idx).proc in
+      if
+        callee.Proc.iparams <> List.length args
+        || callee.Proc.fparams <> List.length fas
+        || callee.Proc.returns <> Proc.Returns_int
+      then
+        trap "indirect call signature mismatch on %s" callee.Proc.name;
+      do_call t image iregs fregs ~callee_idx ~args ~fas ~ret
+  | I.Hwread (rd, k) -> iregs.(rd) <- Counters.read_pic counters k
+  | I.Hwzero -> Counters.zero_pics counters
+  | I.Hwwrite (rs, k) -> Counters.write_pic counters k iregs.(rs)
+  | I.Frameaddr (rd, off) -> iregs.(rd) <- fp + linkage_bytes + off
+  | I.Print_int r -> t.output_rev <- Oint iregs.(r) :: t.output_rev
+  | I.Print_float f ->
+      Machine.fp_use mach ~src:f;
+      t.output_rev <- Ofloat fregs.(f) :: t.output_rev
+  | I.Prof op -> exec_prof t image ~op_addr:addr ~fp iregs op
+
+and do_call t _image iregs fregs ~callee_idx ~args ~fas ~ret =
+  let callee_image = t.images.(callee_idx) in
+  let iargs = List.map (fun r -> iregs.(r)) args in
+  let fargs = List.map (fun f -> fregs.(f)) fas in
+  (* The callee clears the FP scoreboard; waiting on in-flight FP arguments
+     happens here. *)
+  List.iter (fun f -> Machine.fp_use t.machine ~src:f) fas;
+  let v = exec_proc t callee_image ~iargs ~fargs in
+  match (ret, v) with
+  | I.Rnone, _ -> ()
+  | I.Rint rd, Vint n -> iregs.(rd) <- n
+  | I.Rfloat fd, Vfloat x ->
+      fregs.(fd) <- x;
+      Machine.fp_define t.machine ~dst:fd
+  | I.Rint _, (Vfloat _ | Vvoid) | I.Rfloat _, (Vint _ | Vvoid) ->
+      trap "call return kind mismatch"
+
+and exec_prof t image ~op_addr ~fp iregs op =
+  let rt = t.runtime in
+  match op with
+  | I.Cct_enter { nsites; _ } ->
+      Runtime.cct_enter rt ~proc_name:image.proc.Proc.name ~nsites ~op_addr
+        ~fp
+  | I.Cct_exit -> Runtime.cct_exit rt ~op_addr ~fp
+  | I.Cct_call { site; indirect } ->
+      Runtime.cct_call rt ~site ~indirect ~op_addr
+  | I.Cct_metric_enter -> Runtime.cct_metric_enter rt ~op_addr ~fp
+  | I.Cct_metric_exit -> Runtime.cct_metric_exit rt ~op_addr ~fp
+  | I.Cct_metric_backedge -> Runtime.cct_metric_backedge rt ~op_addr ~fp
+  | I.Path_commit_hash { table; path_reg } ->
+      Runtime.path_commit_hash rt ~table ~key:iregs.(path_reg) ~hw:false
+        ~op_addr
+  | I.Path_commit_hash_hw { table; path_reg } ->
+      Runtime.path_commit_hash rt ~table ~key:iregs.(path_reg) ~hw:true
+        ~op_addr
+  | I.Path_commit_cct { table; path_reg } ->
+      Runtime.path_commit_cct rt ~table ~key:iregs.(path_reg) ~op_addr
+
+let run t =
+  let v = exec_proc t t.images.(t.main_index) ~iargs:[] ~fargs:[] in
+  (match v with
+  | Vvoid -> ()
+  | Vint _ | Vfloat _ -> trap "main returned a value");
+  let counters = Counters.totals (Machine.counters t.machine) in
+  {
+    counters;
+    output = List.rev t.output_rev;
+    cycles = Counters.total (Machine.counters t.machine) Event.Cycles;
+    instructions =
+      Counters.total (Machine.counters t.machine) Event.Instructions;
+  }
+
+let read_table_cells t ~global ~index ~cells =
+  let base = Layout.global_addr t.layout global in
+  Array.init cells (fun i ->
+      Memory.read_int t.memory (base + (8 * ((index * cells) + i))))
+
+let pp_output ppf items =
+  List.iter
+    (fun item ->
+      match item with
+      | Oint n -> Format.fprintf ppf "%d@," n
+      | Ofloat x -> Format.fprintf ppf "%.6g@," x)
+    items

@@ -1,0 +1,81 @@
+(** The virtual machine: executes a validated IR program against the
+    simulated microarchitecture.
+
+    Every instruction fetch, load, store, taken/not-taken branch and FP
+    operation is reported to {!Pp_machine.Machine}, so the event counters
+    describe the run exactly as UltraSPARC counters described a SPEC95 run —
+    including the perturbation caused by any instrumentation code present in
+    the program.  Profiling pseudo-ops dispatch to {!Runtime}. *)
+
+exception Trap of string
+(** Division by zero, unmapped or misaligned access, bad indirect-call
+    target or arity, stack overflow, or the instruction budget running
+    out. *)
+
+type output_item = Oint of int | Ofloat of float
+
+type result = {
+  counters : (Pp_machine.Event.t * int) list;
+  output : output_item list;  (** in emission order *)
+  cycles : int;
+  instructions : int;
+}
+
+type t
+
+(** [create prog] lays the program out, allocates memory segments and
+    initialises globals.  [max_instructions] bounds the run (default 2e9).
+    The program is expected to be {!Pp_ir.Validate}-clean. *)
+val create :
+  ?config:Pp_machine.Config.t ->
+  ?max_instructions:int ->
+  ?merge_call_sites:bool ->
+  Pp_ir.Program.t ->
+  t
+
+(** Select the events observed by the two PICs before running. *)
+val select_pics : t -> pic0:Pp_machine.Event.t -> pic1:Pp_machine.Event.t -> unit
+
+(** Execute [main] to completion.  @raise Trap *)
+val run : t -> result
+
+val machine : t -> Pp_machine.Machine.t
+val memory : t -> Memory.t
+val runtime : t -> Runtime.t
+val layout : t -> Pp_ir.Layout.t
+val program : t -> Pp_ir.Program.t
+
+(** {2 Execution tracing}
+
+    A bounded ring of recently entered (procedure, block) pairs — cheap
+    enough to leave on, and the first thing to consult when a workload
+    traps. *)
+
+(** Record the last [capacity] block entries.
+    @raise Invalid_argument if [capacity <= 0]. *)
+val enable_block_trace : t -> capacity:int -> unit
+
+(** Most recent first; empty when tracing is off. *)
+val recent_blocks : t -> (string * Pp_ir.Block.label) list
+
+(** {2 Stack sampling}
+
+    The Goldberg–Hall style comparison profiler of the paper's §7.2: every
+    [interval] simulated cycles the VM records the current call stack.
+    Sampling is approximate by construction (samples land on block
+    boundaries) and its data is unbounded (one bucket per distinct stack) —
+    the two drawbacks the paper holds against it. *)
+
+(** Enable before {!run}.  @raise Invalid_argument if [interval <= 0]. *)
+val enable_sampling : t -> interval:int -> unit
+
+(** Distinct sampled call stacks (outermost procedure first, [main]
+    included) with their hit counts; valid after {!run}. *)
+val samples : t -> (string list * int) list
+
+(** Read back a path-counter global (the array-mode tables the instrumenter
+    plants in the data segment): [read_table_cells t ~global ~index ~cells]
+    returns the [cells] consecutive words at entry [index]. *)
+val read_table_cells : t -> global:string -> index:int -> cells:int -> int array
+
+val pp_output : Format.formatter -> output_item list -> unit

@@ -1,0 +1,83 @@
+exception Fault of string
+
+type segment = { name : string; base : int; bytes : Bytes.t }
+
+type t = { segments : segment array }
+
+let create specs =
+  List.iter
+    (fun (name, base, size) ->
+      if base land 7 <> 0 || size land 7 <> 0 then
+        raise
+          (Fault (Printf.sprintf "segment %s not 8-byte aligned" name));
+      if size <= 0 then
+        raise (Fault (Printf.sprintf "segment %s has size %d" name size)))
+    specs;
+  let sorted =
+    List.sort (fun (_, a, _) (_, b, _) -> compare a b) specs
+  in
+  let rec check_disjoint = function
+    | (n1, b1, s1) :: ((n2, b2, _) :: _ as rest) ->
+        if b1 + s1 > b2 then
+          raise
+            (Fault (Printf.sprintf "segments %s and %s overlap" n1 n2));
+        check_disjoint rest
+    | [ _ ] | [] -> ()
+  in
+  check_disjoint sorted;
+  {
+    segments =
+      Array.of_list
+        (List.map
+           (fun (name, base, size) ->
+             { name; base; bytes = Bytes.make size '\000' })
+           sorted);
+  }
+
+let find t addr =
+  (* Few segments: a linear scan beats building an interval tree. *)
+  let n = Array.length t.segments in
+  let rec scan i =
+    if i >= n then
+      raise (Fault (Printf.sprintf "unmapped address 0x%x" addr))
+    else
+      let s = t.segments.(i) in
+      if addr >= s.base && addr < s.base + Bytes.length s.bytes then s
+      else scan (i + 1)
+  in
+  scan 0
+
+let check_aligned addr =
+  if addr land 7 <> 0 then
+    raise (Fault (Printf.sprintf "misaligned word access at 0x%x" addr))
+
+let read_int t addr =
+  check_aligned addr;
+  let s = find t addr in
+  Int64.to_int (Bytes.get_int64_le s.bytes (addr - s.base))
+
+let write_int t addr v =
+  check_aligned addr;
+  let s = find t addr in
+  Bytes.set_int64_le s.bytes (addr - s.base) (Int64.of_int v)
+
+let read_float t addr =
+  check_aligned addr;
+  let s = find t addr in
+  Int64.float_of_bits (Bytes.get_int64_le s.bytes (addr - s.base))
+
+let write_float t addr v =
+  check_aligned addr;
+  let s = find t addr in
+  Bytes.set_int64_le s.bytes (addr - s.base) (Int64.bits_of_float v)
+
+let valid t addr =
+  addr land 7 = 0
+  && Array.exists
+       (fun s -> addr >= s.base && addr < s.base + Bytes.length s.bytes)
+       t.segments
+
+let clear_segment t name =
+  match Array.find_opt (fun s -> s.name = name) t.segments with
+  | Some s -> Bytes.fill s.bytes 0 (Bytes.length s.bytes) '\000'
+  | None -> raise (Fault (Printf.sprintf "no segment named %s" name))

@@ -1,0 +1,27 @@
+(** The simulated data memory: a handful of byte-addressed segments (data,
+    heap, profiling, stack) storing 8-byte words.
+
+    Floats are stored exactly (IEEE bits); integers are stored as 64-bit
+    two's-complement and read back as OCaml ints (workloads stay well inside
+    63 bits).  Code addresses are never mapped here — instruction fetch only
+    meets the I-cache model. *)
+
+exception Fault of string
+(** Unmapped address, misalignment, or a read/write crossing a segment. *)
+
+type t
+
+(** [create segments] with [(name, base, size_bytes)] triples; segments must
+    be 8-byte aligned and disjoint. *)
+val create : (string * int * int) list -> t
+
+val read_int : t -> int -> int
+val write_int : t -> int -> int -> unit
+val read_float : t -> int -> float
+val write_float : t -> int -> float -> unit
+
+(** Is the address mapped and aligned? *)
+val valid : t -> int -> bool
+
+(** Zero-fill a whole segment (fresh segments are already zeroed). *)
+val clear_segment : t -> string -> unit

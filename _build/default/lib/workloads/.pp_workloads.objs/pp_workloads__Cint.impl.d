@@ -1,0 +1,1 @@
+lib/workloads/cint.ml: Workload

@@ -1,0 +1,591 @@
+(* The ten CFP95 analogues: floating-point kernels whose cache and pipeline
+   behaviour mirrors each original's documented character. *)
+
+let lcg =
+  {|
+int seed;
+int rnd(int bound) {
+  // Use the high bits: an LCG's low bits cycle with tiny periods.
+  seed = (seed * 1103515245 + 12345) % 1073741824;
+  if (seed < 0) { seed = -seed; }
+  return (seed / 1024) % bound;
+}
+float frnd() {
+  return float(rnd(10000)) / 10000.0;
+}
+|}
+
+(* 101.tomcatv: mesh relaxation; one hot procedure owns nearly every miss. *)
+let tomcatv_like =
+  {
+    Workload.name = "tomcatv_like";
+    spec_name = "101.tomcatv";
+    suite = Workload.Cfp;
+    description = "2-D mesh relaxation: one hot loop nest owns the misses";
+    source =
+      lcg
+      ^ {|
+float x[16900];   // 130x130
+float y[16900];
+float rx[16900];
+float ry[16900];
+
+void relax() {
+  int i; int j; int c;
+  for (i = 1; i < 129; i = i + 1) {
+    for (j = 1; j < 129; j = j + 1) {
+      c = i * 130 + j;
+      rx[c] = 0.25 * (x[c - 1] + x[c + 1] + x[c - 130] + x[c + 130]) - x[c];
+      ry[c] = 0.25 * (y[c - 1] + y[c + 1] + y[c - 130] + y[c + 130]) - y[c];
+    }
+  }
+  for (i = 1; i < 129; i = i + 1) {
+    for (j = 1; j < 129; j = j + 1) {
+      c = i * 130 + j;
+      x[c] = x[c] + 0.9 * rx[c];
+      y[c] = y[c] + 0.9 * ry[c];
+    }
+  }
+}
+
+void main() {
+  int i; int iter;
+  seed = 17;
+  for (i = 0; i < 16900; i = i + 1) { x[i] = frnd(); y[i] = frnd(); }
+  for (iter = 0; iter < 6; iter = iter + 1) { relax(); }
+  float s;
+  s = 0.0;
+  for (i = 0; i < 16900; i = i + 1) { s = s + x[i] + y[i]; }
+  print(s);
+}
+|};
+  }
+
+(* 102.swim: shallow-water stencils over three large grids. *)
+let swim_like =
+  {
+    Workload.name = "swim_like";
+    spec_name = "102.swim";
+    suite = Workload.Cfp;
+    description = "shallow-water model: three-grid stencil sweeps";
+    source =
+      lcg
+      ^ {|
+float u[16384];   // 128x128
+float v[16384];
+float p[16384];
+float unew[16384];
+float vnew[16384];
+float pnew[16384];
+
+void step() {
+  int i; int j; int c;
+  for (i = 1; i < 127; i = i + 1) {
+    for (j = 1; j < 127; j = j + 1) {
+      c = i * 128 + j;
+      unew[c] = u[c] + 0.1 * (p[c - 1] - p[c + 1] + v[c]);
+      vnew[c] = v[c] + 0.1 * (p[c - 128] - p[c + 128] - u[c]);
+      pnew[c] = p[c] - 0.05 * (u[c + 1] - u[c - 1] + v[c + 128] - v[c - 128]);
+    }
+  }
+  for (i = 1; i < 127; i = i + 1) {
+    for (j = 1; j < 127; j = j + 1) {
+      c = i * 128 + j;
+      u[c] = unew[c]; v[c] = vnew[c]; p[c] = pnew[c];
+    }
+  }
+}
+
+void main() {
+  int i; int iter;
+  seed = 29;
+  for (i = 0; i < 16384; i = i + 1) {
+    u[i] = frnd(); v[i] = frnd(); p[i] = 1.0 + frnd();
+  }
+  for (iter = 0; iter < 5; iter = iter + 1) { step(); }
+  float s;
+  s = 0.0;
+  for (i = 0; i < 16384; i = i + 1) { s = s + p[i]; }
+  print(s);
+}
+|};
+  }
+
+(* 103.su2cor: small dense matrix-vector kernels repeated many times. *)
+let su2cor_like =
+  {
+    Workload.name = "su2cor_like";
+    spec_name = "103.su2cor";
+    suite = Workload.Cfp;
+    description = "quantum-physics kernel: repeated small matrix-vector ops";
+    source =
+      lcg
+      ^ {|
+float mat[4096];   // 64x64
+float vec[64];
+float out[64];
+float field[8192];
+
+void matvec() {
+  int i; int j;
+  for (i = 0; i < 64; i = i + 1) {
+    float acc;
+    acc = 0.0;
+    for (j = 0; j < 64; j = j + 1) {
+      acc = acc + mat[i * 64 + j] * vec[j];
+    }
+    out[i] = acc;
+  }
+}
+
+void update_field(int offset) {
+  int i;
+  for (i = 0; i < 64; i = i + 1) {
+    field[(offset + i * 128) % 8192] = out[i] * 0.5 + vec[i];
+  }
+}
+
+void main() {
+  int i; int sweep;
+  seed = 31;
+  for (i = 0; i < 4096; i = i + 1) { mat[i] = frnd() - 0.5; }
+  for (i = 0; i < 64; i = i + 1) { vec[i] = frnd(); }
+  for (i = 0; i < 8192; i = i + 1) { field[i] = 0.0; }
+  for (sweep = 0; sweep < 110; sweep = sweep + 1) {
+    matvec();
+    update_field(sweep * 7);
+    for (i = 0; i < 64; i = i + 1) { vec[i] = out[i] * 0.01 + 0.1; }
+  }
+  float s;
+  s = 0.0;
+  for (i = 0; i < 8192; i = i + 1) { s = s + field[i]; }
+  print(s);
+}
+|};
+  }
+
+(* 104.hydro2d: hydrodynamics stencils with boundary conditionals. *)
+let hydro2d_like =
+  {
+    Workload.name = "hydro2d_like";
+    spec_name = "104.hydro2d";
+    suite = Workload.Cfp;
+    description = "2-D hydrodynamics: stencils with branchy boundary logic";
+    source =
+      lcg
+      ^ {|
+float rho[16384];  // 128x128
+float mom[16384];
+float eng[16384];
+
+void sweep() {
+  int i; int j;
+  for (i = 0; i < 128; i = i + 1) {
+    for (j = 0; j < 128; j = j + 1) {
+      int c;
+      c = i * 128 + j;
+      float left; float right; float up; float down;
+      if (j > 0) { left = rho[c - 1]; } else { left = rho[c]; }
+      if (j < 127) { right = rho[c + 1]; } else { right = rho[c]; }
+      if (i > 0) { up = rho[c - 128]; } else { up = rho[c]; }
+      if (i < 127) { down = rho[c + 128]; } else { down = rho[c]; }
+      float flux;
+      flux = 0.2 * (left + right + up + down - 4.0 * rho[c]);
+      if (flux < 0.0 && rho[c] + flux < 0.01) { flux = 0.0; }
+      rho[c] = rho[c] + flux;
+      mom[c] = mom[c] + 0.5 * flux;
+      eng[c] = eng[c] + flux * flux;
+    }
+  }
+}
+
+void main() {
+  int i; int iter;
+  seed = 37;
+  for (i = 0; i < 16384; i = i + 1) {
+    rho[i] = 0.5 + frnd(); mom[i] = 0.0; eng[i] = 0.0;
+  }
+  for (iter = 0; iter < 5; iter = iter + 1) { sweep(); }
+  float s;
+  s = 0.0;
+  for (i = 0; i < 16384; i = i + 1) { s = s + rho[i] + eng[i]; }
+  print(s);
+}
+|};
+  }
+
+(* 107.mgrid: multigrid with power-of-two strides -- the conflict-miss
+   generator on a direct-mapped cache. *)
+let mgrid_like =
+  {
+    Workload.name = "mgrid_like";
+    spec_name = "107.mgrid";
+    suite = Workload.Cfp;
+    description =
+      "multigrid solver: power-of-two strided sweeps, conflict misses";
+    source =
+      lcg
+      ^ {|
+float grid[32768];
+float tmp[32768];
+
+void smooth(int stride) {
+  int i;
+  i = stride;
+  while (i < 32768 - stride) {
+    tmp[i] = 0.5 * grid[i] + 0.25 * (grid[i - stride] + grid[i + stride]);
+    i = i + stride;
+  }
+  i = stride;
+  while (i < 32768 - stride) {
+    grid[i] = tmp[i];
+    i = i + stride;
+  }
+}
+
+void main() {
+  int i; int cycle;
+  seed = 41;
+  for (i = 0; i < 32768; i = i + 1) { grid[i] = frnd(); }
+  for (cycle = 0; cycle < 2; cycle = cycle + 1) {
+    smooth(1);
+    smooth(2);
+    smooth(4);
+    smooth(8);
+    smooth(16);
+    smooth(8);
+    smooth(4);
+    smooth(2);
+    smooth(1);
+  }
+  float s;
+  s = 0.0;
+  for (i = 0; i < 32768; i = i + 1) { s = s + grid[i]; }
+  print(s);
+}
+|};
+  }
+
+(* 110.applu: SSOR-style forward and backward sweeps with dependences. *)
+let applu_like =
+  {
+    Workload.name = "applu_like";
+    spec_name = "110.applu";
+    suite = Workload.Cfp;
+    description = "SSOR solver: forward/backward dependent sweeps";
+    source =
+      lcg
+      ^ {|
+float a[16384];   // 128x128
+float rhs[16384];
+
+void forward() {
+  int i; int j; int c;
+  for (i = 1; i < 128; i = i + 1) {
+    for (j = 1; j < 128; j = j + 1) {
+      c = i * 128 + j;
+      a[c] = a[c] - 0.3 * a[c - 1] - 0.3 * a[c - 128] + 0.01 * rhs[c];
+    }
+  }
+}
+
+void backward() {
+  int i; int j; int c;
+  for (i = 126; i >= 0; i = i - 1) {
+    for (j = 126; j >= 0; j = j - 1) {
+      c = i * 128 + j;
+      a[c] = a[c] - 0.3 * a[c + 1] - 0.3 * a[c + 128] + 0.01 * rhs[c];
+    }
+  }
+}
+
+void main() {
+  int i; int iter;
+  seed = 43;
+  for (i = 0; i < 16384; i = i + 1) { a[i] = frnd(); rhs[i] = frnd() - 0.5; }
+  for (iter = 0; iter < 6; iter = iter + 1) {
+    forward();
+    backward();
+  }
+  float s;
+  s = 0.0;
+  for (i = 0; i < 16384; i = i + 1) { s = s + a[i]; }
+  print(s);
+}
+|};
+  }
+
+(* 125.turb3d: FFT-like butterfly stages over a complex signal. *)
+let turb3d_like =
+  {
+    Workload.name = "turb3d_like";
+    spec_name = "125.turb3d";
+    suite = Workload.Cfp;
+    description = "turbulence model: FFT butterfly stages, strided access";
+    source =
+      lcg
+      ^ {|
+float re[16384];
+float im[16384];
+
+void butterfly_stage(int half) {
+  int start; int k;
+  start = 0;
+  while (start < 16384) {
+    for (k = 0; k < half; k = k + 1) {
+      int a; int b;
+      a = start + k;
+      b = start + k + half;
+      float tr; float ti;
+      tr = re[b] * 0.7071 - im[b] * 0.7071;
+      ti = re[b] * 0.7071 + im[b] * 0.7071;
+      re[b] = 0.5 * (re[a] - tr);
+      im[b] = 0.5 * (im[a] - ti);
+      re[a] = 0.5 * (re[a] + tr);
+      im[a] = 0.5 * (im[a] + ti);
+    }
+    start = start + 2 * half;
+  }
+}
+
+void main() {
+  int i; int pass;
+  seed = 47;
+  for (i = 0; i < 16384; i = i + 1) { re[i] = frnd() - 0.5; im[i] = 0.0; }
+  for (pass = 0; pass < 1; pass = pass + 1) {
+    int half;
+    half = 1;
+    while (half < 16384) {
+      butterfly_stage(half);
+      half = half * 2;
+    }
+  }
+  float s;
+  s = 0.0;
+  for (i = 0; i < 16384; i = i + 1) { s = s + re[i] * re[i] + im[i] * im[i]; }
+  print(s);
+}
+|};
+  }
+
+(* 141.apsi: a weather code with several distinct medium-sized FP
+   procedures (more procedures than the other FP analogues). *)
+let apsi_like =
+  {
+    Workload.name = "apsi_like";
+    spec_name = "141.apsi";
+    suite = Workload.Cfp;
+    description = "mesoscale weather model: several medium FP procedures";
+    source =
+      lcg
+      ^ {|
+float temp[8192];   // 64x128
+float pres[8192];
+float wind_u[8192];
+float wind_v[8192];
+float moist[8192];
+
+void advect_temp() {
+  int i;
+  for (i = 128; i < 8064; i = i + 1) {
+    temp[i] = temp[i] - 0.1 * wind_u[i] * (temp[i] - temp[i - 1])
+              - 0.1 * wind_v[i] * (temp[i] - temp[i - 128]);
+  }
+}
+
+void pressure_solve() {
+  int i;
+  for (i = 128; i < 8064; i = i + 1) {
+    pres[i] = 0.25 * (pres[i - 1] + pres[i + 1] + pres[i - 128] + pres[i + 128])
+              + 0.01 * temp[i];
+  }
+}
+
+void wind_update() {
+  int i;
+  for (i = 128; i < 8064; i = i + 1) {
+    wind_u[i] = wind_u[i] - 0.05 * (pres[i + 1] - pres[i - 1]);
+    wind_v[i] = wind_v[i] - 0.05 * (pres[i + 128] - pres[i - 128]);
+  }
+}
+
+void moisture() {
+  int i;
+  for (i = 128; i < 8064; i = i + 1) {
+    float cond;
+    cond = moist[i] * 0.001;
+    if (temp[i] > 0.8) { cond = cond * 2.0; }
+    moist[i] = moist[i] - cond;
+    temp[i] = temp[i] + 0.5 * cond;
+  }
+}
+
+void diffuse(int steps) {
+  int s; int i;
+  for (s = 0; s < steps; s = s + 1) {
+    for (i = 128; i < 8064; i = i + 1) {
+      temp[i] = temp[i] + 0.02 * (temp[i - 1] + temp[i + 1] - 2.0 * temp[i]);
+    }
+  }
+}
+
+void main() {
+  int i; int step;
+  seed = 53;
+  for (i = 0; i < 8192; i = i + 1) {
+    temp[i] = frnd(); pres[i] = 1.0; wind_u[i] = frnd() - 0.5;
+    wind_v[i] = frnd() - 0.5; moist[i] = frnd();
+  }
+  for (step = 0; step < 6; step = step + 1) {
+    advect_temp();
+    pressure_solve();
+    wind_update();
+    moisture();
+    diffuse(2);
+  }
+  float s;
+  s = 0.0;
+  for (i = 0; i < 8192; i = i + 1) { s = s + temp[i] + moist[i]; }
+  print(s);
+}
+|};
+  }
+
+(* 145.fpppp: enormous straight-line blocks of dependent FP arithmetic --
+   almost no branches, so path profiling costs nearly nothing, while the FP
+   pipeline stalls dominate. *)
+let fpppp_like =
+  {
+    Workload.name = "fpppp_like";
+    spec_name = "145.fpppp";
+    suite = Workload.Cfp;
+    description =
+      "electron-integral kernel: huge straight-line FP blocks, FP stalls";
+    source =
+      lcg
+      ^ {|
+float gin[1024];
+float gout[1024];
+
+// One enormous straight-line block (the fpppp signature): a long chain of
+// dependent FP operations with no branches.
+float integral(int base) {
+  float a; float b; float c; float d; float e; float f; float g; float h;
+  a = gin[base];     b = gin[base + 1]; c = gin[base + 2]; d = gin[base + 3];
+  e = gin[base + 4]; f = gin[base + 5]; g = gin[base + 6]; h = gin[base + 7];
+  float t1; float t2; float t3; float t4;
+  t1 = a * b + c * d;
+  t2 = e * f + g * h;
+  t3 = a * e - b * f;
+  t4 = c * g - d * h;
+  float u1; float u2; float u3; float u4;
+  u1 = t1 * t2 + t3 * t4;
+  u2 = t1 * t3 - t2 * t4;
+  u3 = t1 * t4 + t2 * t3;
+  u4 = t1 + t2 + t3 + t4;
+  float v1; float v2;
+  v1 = u1 * u2 + u3 * u4;
+  v2 = u1 * u4 - u2 * u3;
+  float w1; float w2;
+  w1 = v1 * 0.5 + v2 * 0.25 + u1 * 0.125;
+  w2 = v2 * 0.5 - v1 * 0.25 + u2 * 0.125;
+  float z;
+  z = w1 * w2 + v1 * v2 + u1 * u4 + t1 * t4 + a * h + b * g + c * f + d * e;
+  z = z + w1 * v2 + w2 * v1 + u2 * u3 + t2 * t3;
+  z = z * 0.001 + (a + b + c + d) * (e + f + g + h) * 0.01;
+  return z;
+}
+
+void main() {
+  int i; int pass;
+  seed = 59;
+  for (i = 0; i < 1024; i = i + 1) { gin[i] = frnd() + 0.1; }
+  for (pass = 0; pass < 40; pass = pass + 1) {
+    for (i = 0; i < 1016; i = i + 1) {
+      gout[i] = gout[i] + integral(i);
+    }
+  }
+  float s;
+  s = 0.0;
+  for (i = 0; i < 1024; i = i + 1) { s = s + gout[i]; }
+  print(s);
+}
+|};
+  }
+
+(* 146.wave5: particle-in-cell -- gather from a grid, push, scatter back;
+   irregular indexed FP access. *)
+let wave5_like =
+  {
+    Workload.name = "wave5_like";
+    spec_name = "146.wave5";
+    suite = Workload.Cfp;
+    description = "plasma simulation: particle gather/push/scatter";
+    source =
+      lcg
+      ^ {|
+float field[16384];
+float px[8192];
+float pv[8192];
+
+void push() {
+  int i;
+  for (i = 0; i < 8192; i = i + 1) {
+    int cell;
+    cell = int(px[i]);
+    if (cell < 0) { cell = 0; }
+    if (cell > 16382) { cell = 16382; }
+    float e;
+    e = field[cell] + (px[i] - float(cell)) * (field[cell + 1] - field[cell]);
+    pv[i] = pv[i] + 0.1 * e;
+    px[i] = px[i] + pv[i];
+    if (px[i] < 0.0) { px[i] = px[i] + 16384.0; }
+    if (px[i] >= 16384.0) { px[i] = px[i] - 16384.0; }
+  }
+}
+
+void deposit() {
+  int i;
+  for (i = 0; i < 16384; i = i + 1) { field[i] = field[i] * 0.99; }
+  for (i = 0; i < 8192; i = i + 1) {
+    int cell;
+    cell = int(px[i]);
+    if (cell < 0) { cell = 0; }
+    if (cell > 16383) { cell = 16383; }
+    field[cell] = field[cell] + 0.01;
+  }
+}
+
+void main() {
+  int i; int step;
+  seed = 61;
+  for (i = 0; i < 16384; i = i + 1) { field[i] = frnd() - 0.5; }
+  for (i = 0; i < 8192; i = i + 1) {
+    px[i] = float(rnd(16384));
+    pv[i] = frnd() - 0.5;
+  }
+  for (step = 0; step < 8; step = step + 1) {
+    push();
+    deposit();
+  }
+  float s;
+  s = 0.0;
+  for (i = 0; i < 8192; i = i + 1) { s = s + pv[i] * pv[i]; }
+  print(s);
+}
+|};
+  }
+
+let all =
+  [
+    tomcatv_like;
+    swim_like;
+    su2cor_like;
+    hydro2d_like;
+    mgrid_like;
+    applu_like;
+    turb3d_like;
+    apsi_like;
+    fpppp_like;
+    wave5_like;
+  ]

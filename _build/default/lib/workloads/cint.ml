@@ -1,0 +1,856 @@
+(* The eight CINT95 analogues.  Each source is deterministic (a LCG seeds
+   all "random" data) and sized for roughly one to three million simulated
+   instructions. *)
+
+let lcg =
+  {|
+int seed;
+int rnd(int bound) {
+  // Use the high bits: an LCG's low bits cycle with tiny periods.
+  seed = (seed * 1103515245 + 12345) % 1073741824;
+  if (seed < 0) { seed = -seed; }
+  return (seed / 1024) % bound;
+}
+|}
+
+(* 099.go: a board evaluator with many small branchy routines; its signature
+   is executing an order of magnitude more distinct paths than anything
+   else, with misses spread thinly across them. *)
+let go_like =
+  {
+    Workload.name = "go_like";
+    spec_name = "099.go";
+    suite = Workload.Cint;
+    description =
+      "board-game position evaluator: many branchy routines, very many \
+       executed paths";
+    source =
+      lcg
+      ^ {|
+int board[361];   // 19x19
+int influence[361];
+int libs[361];
+
+int at(int r, int c) {
+  if (r < 0 || r >= 19 || c < 0 || c >= 19) { return -1; }
+  return board[r * 19 + c];
+}
+
+// Branchy point evaluation: each neighbour combination takes its own path.
+int eval_point(int r, int c) {
+  int v; int n; int e; int s; int w;
+  v = 0;
+  n = at(r - 1, c); e = at(r, c + 1); s = at(r + 1, c); w = at(r, c - 1);
+  if (n == 1) { v = v + 3; } else { if (n == 2) { v = v - 2; } }
+  if (e == 1) { v = v + 3; } else { if (e == 2) { v = v - 2; } }
+  if (s == 1) { v = v + 3; } else { if (s == 2) { v = v - 2; } }
+  if (w == 1) { v = v + 3; } else { if (w == 2) { v = v - 2; } }
+  if (n == -1 || e == -1 || s == -1 || w == -1) { v = v + 1; }
+  if (v > 6) { v = 6; }
+  if (v < -6) { v = -6; }
+  return v;
+}
+
+int count_liberties(int r, int c) {
+  int l;
+  l = 0;
+  if (at(r - 1, c) == 0) { l = l + 1; }
+  if (at(r, c + 1) == 0) { l = l + 1; }
+  if (at(r + 1, c) == 0) { l = l + 1; }
+  if (at(r, c - 1) == 0) { l = l + 1; }
+  return l;
+}
+
+void spread_influence() {
+  int r; int c; int v;
+  for (r = 0; r < 19; r = r + 1) {
+    for (c = 0; c < 19; c = c + 1) {
+      v = 0;
+      if (at(r, c) == 1) { v = 8; }
+      if (at(r, c) == 2) { v = -8; }
+      if (v != 0) {
+        if (r > 0) { influence[(r - 1) * 19 + c] = influence[(r - 1) * 19 + c] + v / 2; }
+        if (r < 18) { influence[(r + 1) * 19 + c] = influence[(r + 1) * 19 + c] + v / 2; }
+        if (c > 0) { influence[r * 19 + c - 1] = influence[r * 19 + c - 1] + v / 2; }
+        if (c < 18) { influence[r * 19 + c + 1] = influence[r * 19 + c + 1] + v / 2; }
+      }
+      influence[r * 19 + c] = influence[r * 19 + c] + v;
+    }
+  }
+}
+
+int score_board() {
+  int r; int c; int total;
+  total = 0;
+  for (r = 0; r < 19; r = r + 1) {
+    for (c = 0; c < 19; c = c + 1) {
+      int p;
+      p = eval_point(r, c);
+      libs[r * 19 + c] = count_liberties(r, c);
+      if (libs[r * 19 + c] == 1 && at(r, c) != 0) { p = p - 4; }
+      if (libs[r * 19 + c] == 0 && at(r, c) != 0) { p = p - 8; }
+      total = total + p + influence[r * 19 + c] / 4;
+    }
+  }
+  return total;
+}
+
+void random_board(int stones) {
+  int i; int p;
+  for (i = 0; i < 361; i = i + 1) { board[i] = 0; influence[i] = 0; }
+  for (i = 0; i < stones; i = i + 1) {
+    p = rnd(361);
+    board[p] = 1 + rnd(2);
+  }
+}
+
+void main() {
+  int game; int total;
+  seed = 42;
+  total = 0;
+  for (game = 0; game < 30; game = game + 1) {
+    random_board(40 + rnd(200));
+    spread_influence();
+    total = total + score_board();
+  }
+  print(total);
+}
+|};
+  }
+
+(* 124.m88ksim: an instruction-set interpreter -- a big dispatch loop over a
+   synthetic program image, with indirect calls for the ALU group. *)
+let m88k_like =
+  {
+    Workload.name = "m88k_like";
+    spec_name = "124.m88ksim";
+    suite = Workload.Cint;
+    description =
+      "CPU simulator: fetch/decode/dispatch interpreter with indirect calls";
+    source =
+      lcg
+      ^ {|
+int mem[16384];
+int regs[32];
+int pc;
+int halted;
+
+int op_add(int a, int b) { return a + b; }
+int op_sub(int a, int b) { return a - b; }
+int op_and(int a, int b) {
+  int m;
+  m = b % 1000;
+  if (m < 0) { m = -m; }
+  return a % (m + 7);
+}
+int op_or(int a, int b)  { return a + b * 3; }
+
+funptr alu0; funptr alu1; funptr alu2; funptr alu3;
+
+funptr alu_select(int opcode) {
+  if (opcode == 0) { return alu0; }
+  if (opcode == 1) { return alu1; }
+  if (opcode == 2) { return alu2; }
+  return alu3;
+}
+
+void step() {
+  int word; int opcode; int rd; int rs1; int rs2; int imm;
+  word = mem[pc % 16384];
+  pc = pc + 1;
+  opcode = word % 16;
+  rd = (word / 16) % 32;
+  rs1 = (word / 512) % 32;
+  rs2 = (word / 16384) % 32;
+  imm = (word / 16384) % 256;
+  if (opcode < 4) {
+    funptr f;
+    f = alu_select(opcode);
+    regs[rd] = f(regs[rs1], regs[rs2]);
+  } else { if (opcode == 4) {
+    regs[rd] = regs[rs1] + imm;
+  } else { if (opcode == 5) {
+    int a;
+    a = (regs[rs1] + imm) % 16384;
+    if (a < 0) { a = -a; }
+    regs[rd] = mem[a];
+  } else { if (opcode == 6) {
+    int b;
+    b = (regs[rs1] + imm) % 16384;
+    if (b < 0) { b = -b; }
+    mem[b] = regs[rd];
+  } else { if (opcode == 7) {
+    if (regs[rs1] > 0) { pc = (pc + imm) % 16384; }
+  } else { if (opcode == 8) {
+    if (regs[rs1] <= 0) { pc = (pc + imm) % 16384; }
+  } else { if (opcode == 9) {
+    regs[rd] = imm * 97;
+  } else {
+    regs[rd] = regs[rs1] * 2 + opcode;
+  } } } } } } }
+}
+
+void main() {
+  int i;
+  seed = 7;
+  alu0 = &op_add; alu1 = &op_sub; alu2 = &op_and; alu3 = &op_or;
+  for (i = 0; i < 16384; i = i + 1) { mem[i] = rnd(1048576); }
+  for (i = 0; i < 32; i = i + 1) { regs[i] = i * 17; }
+  pc = 0;
+  for (i = 0; i < 50000; i = i + 1) { step(); }
+  int sum;
+  sum = 0;
+  for (i = 0; i < 32; i = i + 1) { sum = sum + regs[i] % 1000; }
+  print(sum);
+}
+|};
+  }
+
+(* 126.gcc: tree-walking passes over many small random expression trees --
+   recursive evaluation and two rewriting passes, each full of cases.  Like
+   the real gcc, it executes very many distinct paths. *)
+let gcc_like =
+  {
+    Workload.name = "gcc_like";
+    spec_name = "126.gcc";
+    suite = Workload.Cint;
+    description =
+      "compiler passes over random expression trees: recursive walkers \
+       with many cases and many executed paths";
+    source =
+      lcg
+      ^ {|
+// Expression nodes: op[i] 0..9 (0..3 leaves/consts, 4.. binary ops)
+int op[4096];
+int left[4096];
+int right[4096];
+int value[4096];
+int next_node;
+
+int mk(int o, int l, int r, int v) {
+  int n;
+  n = next_node;
+  next_node = next_node + 1;
+  op[n] = o; left[n] = l; right[n] = r; value[n] = v;
+  return n;
+}
+
+int build(int depth) {
+  if (depth <= 0 || rnd(5) == 0) {
+    if (rnd(2) == 0) { return mk(0, 0, 0, rnd(100)); }   // const
+    return mk(1, 0, 0, rnd(16));                         // var slot
+  }
+  int o; int l; int r;
+  o = 4 + rnd(6);
+  l = build(depth - 1);
+  r = build(depth - 1);
+  return mk(o, l, r, 0);
+}
+
+int env[16];
+
+int eval(int n) {
+  int o;
+  o = op[n];
+  if (o == 0) { return value[n]; }
+  if (o == 1) { return env[value[n]]; }
+  int a; int b;
+  a = eval(left[n]);
+  b = eval(right[n]);
+  if (o == 4) { return a + b; }
+  if (o == 5) { return a - b; }
+  if (o == 6) { return a * b % 65536; }
+  if (o == 7) { if (b == 0) { return a; } return a / b; }
+  if (o == 8) { if (a > b) { return a; } return b; }
+  return a % (b + 1);
+}
+
+// Constant folding: rewrites const-const ops in place.
+int fold(int n) {
+  int o;
+  o = op[n];
+  if (o <= 1) { return o == 0; }
+  int lc; int rc;
+  lc = fold(left[n]);
+  rc = fold(right[n]);
+  if (lc && rc) {
+    int v;
+    v = eval(n);
+    op[n] = 0; value[n] = v;
+    return 1;
+  }
+  return 0;
+}
+
+// Strength reduction: x*2 -> x+x style rewrites, again case-heavy.
+void reduce(int n) {
+  int o;
+  o = op[n];
+  if (o <= 1) { return; }
+  reduce(left[n]);
+  reduce(right[n]);
+  if (o == 6) {
+    if (op[right[n]] == 0 && value[right[n]] == 2) { op[n] = 4; right[n] = left[n]; }
+    if (op[left[n]] == 0 && value[left[n]] == 0) { op[n] = 0; value[n] = 0; }
+  }
+  if (o == 4 && op[right[n]] == 0 && value[right[n]] == 0) {
+    op[n] = op[left[n]]; value[n] = value[left[n]];
+    right[n] = right[left[n]]; left[n] = left[left[n]];
+  }
+}
+
+// A "register allocator": assign tree temporaries to 4 registers with
+// branchy spilling decisions -- the pass that makes gcc path-rich.
+int reg_busy[4];
+int spills;
+
+int alloc_reg(int hint) {
+  int r;
+  r = hint % 4;
+  if (r < 0) { r = -r; }
+  if (reg_busy[r] == 0) { reg_busy[r] = 1; return r; }
+  if (reg_busy[(r + 1) % 4] == 0) { reg_busy[(r + 1) % 4] = 1; return (r + 1) % 4; }
+  if (reg_busy[(r + 2) % 4] == 0) { reg_busy[(r + 2) % 4] = 1; return (r + 2) % 4; }
+  if (reg_busy[(r + 3) % 4] == 0) { reg_busy[(r + 3) % 4] = 1; return (r + 3) % 4; }
+  spills = spills + 1;
+  return r;
+}
+
+void free_reg(int r) {
+  if (r >= 0 && r < 4) { reg_busy[r] = 0; }
+}
+
+int regalloc(int n) {
+  int o;
+  o = op[n];
+  if (o == 0) { return alloc_reg(value[n]); }
+  if (o == 1) { return alloc_reg(value[n] + 1); }
+  int rl; int rr;
+  rl = regalloc(left[n]);
+  rr = regalloc(right[n]);
+  free_reg(rr);
+  if (o == 7 || o == 9) {
+    // division-like ops want an even register pair
+    if (rl % 2 != 0) {
+      free_reg(rl);
+      rl = alloc_reg(0);
+    }
+  }
+  return rl;
+}
+
+// Instruction selection / encoding: many independent flag decisions, so
+// executions scatter across hundreds of distinct paths (the gcc
+// signature).
+int emitted;
+
+int emit_code(int o, int hl, int hr, int flags) {
+  int cost;
+  cost = 1;
+  if (o >= 7) { cost = cost + 2; }
+  if (hl % 2 == 0) { cost = cost + 1; } else { cost = cost + 3; }
+  if (hr % 3 == 0) { cost = cost + 1; }
+  if (flags % 2 == 1) { cost = cost * 2; }
+  if ((flags / 2) % 2 == 1) { cost = cost + 4; }
+  if ((flags / 4) % 2 == 1) { cost = cost - 1; }
+  if (hl > hr) { cost = cost + 1; } else { if (hl < hr) { cost = cost + 2; } }
+  if (cost > 9) { cost = 9; }
+  emitted = emitted + cost;
+  return cost;
+}
+
+// Common-subexpression detection by structural hashing, full of cases.
+int cse_hits;
+
+int tree_hash(int n) {
+  int o;
+  o = op[n];
+  if (o == 0) { return value[n] * 31 % 65536; }
+  if (o == 1) { return (value[n] * 37 + 11) % 65536; }
+  int hl; int hr;
+  hl = tree_hash(left[n]);
+  hr = tree_hash(right[n]);
+  int h;
+  h = (o * 131 + hl * 31 + hr) % 65536;
+  if (o == 4 || o == 6) {
+    // commutative: canonicalise operand order
+    if (hl > hr) { h = (o * 131 + hr * 31 + hl) % 65536; }
+  }
+  if (h % 64 == 0) { cse_hits = cse_hits + 1; }
+  emit_code(o, hl, hr, h % 8);
+  return h;
+}
+
+void main() {
+  int t; int total; int i;
+  seed = 99;
+  total = 0;
+  for (i = 0; i < 16; i = i + 1) { env[i] = i * 3 + 1; }
+  spills = 0; cse_hits = 0;
+  for (t = 0; t < 220; t = t + 1) {
+    next_node = 0;
+    int root;
+    root = build(6);
+    total = total + eval(root);
+    fold(root);
+    reduce(root);
+    total = total + eval(root);
+    int r;
+    for (r = 0; r < 4; r = r + 1) { reg_busy[r] = 0; }
+    total = total + regalloc(root);
+    total = total + tree_hash(root);
+  }
+  print(total);
+  print(spills);
+  print(cse_hits);
+}
+|};
+  }
+
+(* 129.compress: LZW-flavoured hashing over a buffer; the paper's signature
+   is a handful of hot paths carrying almost all the misses. *)
+let compress_like =
+  {
+    Workload.name = "compress_like";
+    spec_name = "129.compress";
+    suite = Workload.Cint;
+    description = "LZW-style compressor: hash probe loop dominates";
+    source =
+      lcg
+      ^ {|
+int input[65536];
+int hash_key[16384];
+int hash_code[16384];
+
+void clear_table() {
+  int i;
+  for (i = 0; i < 16384; i = i + 1) { hash_key[i] = -1; hash_code[i] = 0; }
+}
+
+int compress_block(int start, int len) {
+  int prefix; int i; int out; int next_code;
+  prefix = input[start];
+  out = 0;
+  next_code = 256;
+  for (i = 1; i < len; i = i + 1) {
+    int c; int key; int h; int found;
+    c = input[start + i];
+    key = prefix * 256 + c;
+    h = (key * 2654435) % 16384;
+    if (h < 0) { h = -h; }
+    found = -1;
+    while (found == -1) {
+      if (hash_key[h] == key) { found = hash_code[h]; }
+      else { if (hash_key[h] == -1) {
+        hash_key[h] = key;
+        hash_code[h] = next_code;
+        next_code = next_code + 1;
+        found = -2;
+      } else {
+        h = (h + 1) % 16384;
+      } }
+    }
+    if (found >= 0) { prefix = found; }
+    else { out = out + 1; prefix = c; }
+  }
+  return out;
+}
+
+void main() {
+  int b; int total;
+  seed = 5;
+  total = 0;
+  int i;
+  for (i = 0; i < 65536; i = i + 1) {
+    // Skewed byte distribution so the dictionary gets real reuse.
+    int r;
+    r = rnd(100);
+    if (r < 60) { input[i] = rnd(8); }
+    else { if (r < 90) { input[i] = 8 + rnd(32); } else { input[i] = rnd(256); } }
+  }
+  for (b = 0; b < 8; b = b + 1) {
+    clear_table();
+    total = total + compress_block(b * 8192, 8192);
+  }
+  print(total);
+}
+|};
+  }
+
+(* 130.li: a cons-cell list interpreter: arena allocation, deep recursion
+   (the CCT gains real backedges), pointer chasing. *)
+let li_like =
+  {
+    Workload.name = "li_like";
+    spec_name = "130.li";
+    suite = Workload.Cint;
+    description = "lisp-ish list kernel: arena cons cells, deep recursion";
+    source =
+      lcg
+      ^ {|
+int car[65536];
+int cdr[65536];
+int free_ptr;
+
+int cons(int a, int d) {
+  int c;
+  c = free_ptr;
+  free_ptr = free_ptr + 1;
+  car[c] = a; cdr[c] = d;
+  return c;
+}
+
+int build_list(int n) {
+  if (n == 0) { return 0; }
+  return cons(rnd(1000), build_list(n - 1));
+}
+
+int length(int l) {
+  if (l == 0) { return 0; }
+  return 1 + length(cdr[l]);
+}
+
+int sum(int l) {
+  if (l == 0) { return 0; }
+  return car[l] + sum(cdr[l]);
+}
+
+int map_double(int l) {
+  if (l == 0) { return 0; }
+  return cons(car[l] * 2, map_double(cdr[l]));
+}
+
+int rev_append(int l, int acc) {
+  if (l == 0) { return acc; }
+  return rev_append(cdr[l], cons(car[l], acc));
+}
+
+// Trees: a leaf has cdr == 0 and its value in car; interior cells hold two
+// cell indices (always non-zero).
+int tree_build(int depth) {
+  if (depth == 0) { return cons(rnd(100), 0); }
+  int l; int r;
+  l = tree_build(depth - 1);
+  r = tree_build(depth - 1);
+  return cons(l, r);
+}
+
+int tree_sum(int t) {
+  if (cdr[t] == 0) { return car[t]; }
+  return tree_sum(car[t]) + tree_sum(cdr[t]);
+}
+
+void main() {
+  int round; int acc;
+  seed = 11;
+  free_ptr = 1;
+  acc = 0;
+  for (round = 0; round < 50; round = round + 1) {
+    free_ptr = 1;  // the arena is dead between rounds
+    int l;
+    l = build_list(300);
+    acc = acc + length(l);
+    acc = acc + sum(l) % 997;
+    int m;
+    m = map_double(l);
+    acc = acc + sum(m) % 997;
+    acc = acc + length(rev_append(l, 0));
+    int t;
+    t = tree_build(7);
+    acc = acc + tree_sum(t) % 997;
+  }
+  print(acc);
+}
+|};
+  }
+
+(* 132.ijpeg: 8x8 integer DCT-ish transforms and quantization over an
+   image; dense loops, moderate path counts. *)
+let ijpeg_like =
+  {
+    Workload.name = "ijpeg_like";
+    spec_name = "132.ijpeg";
+    suite = Workload.Cint;
+    description = "image coder: blocked 8x8 transforms and quantization";
+    source =
+      lcg
+      ^ {|
+int image[65536];    // 256x256
+int block[64];
+int coef[64];
+int quant[64];
+
+void load_block(int bx, int by) {
+  int i; int j;
+  for (i = 0; i < 8; i = i + 1) {
+    for (j = 0; j < 8; j = j + 1) {
+      block[i * 8 + j] = image[(by * 8 + i) * 256 + bx * 8 + j];
+    }
+  }
+}
+
+// Separable integer transform (butterfly-flavoured).
+void transform() {
+  int i; int j;
+  for (i = 0; i < 8; i = i + 1) {
+    int s0; int s1; int s2; int s3;
+    s0 = block[i * 8 + 0] + block[i * 8 + 7];
+    s1 = block[i * 8 + 1] + block[i * 8 + 6];
+    s2 = block[i * 8 + 2] + block[i * 8 + 5];
+    s3 = block[i * 8 + 3] + block[i * 8 + 4];
+    coef[i * 8 + 0] = s0 + s3;
+    coef[i * 8 + 1] = s1 + s2;
+    coef[i * 8 + 2] = s0 - s3;
+    coef[i * 8 + 3] = s1 - s2;
+    coef[i * 8 + 4] = block[i * 8 + 0] - block[i * 8 + 7];
+    coef[i * 8 + 5] = block[i * 8 + 1] - block[i * 8 + 6];
+    coef[i * 8 + 6] = block[i * 8 + 2] - block[i * 8 + 5];
+    coef[i * 8 + 7] = block[i * 8 + 3] - block[i * 8 + 4];
+  }
+  for (j = 0; j < 8; j = j + 1) {
+    int t0; int t1;
+    t0 = coef[0 * 8 + j] + coef[7 * 8 + j];
+    t1 = coef[3 * 8 + j] + coef[4 * 8 + j];
+    coef[0 * 8 + j] = t0 + t1;
+    coef[7 * 8 + j] = t0 - t1;
+  }
+}
+
+int quantize() {
+  int i; int nz;
+  nz = 0;
+  for (i = 0; i < 64; i = i + 1) {
+    coef[i] = coef[i] / quant[i];
+    if (coef[i] != 0) { nz = nz + 1; }
+  }
+  return nz;
+}
+
+void main() {
+  int bx; int by; int total; int i;
+  seed = 3;
+  for (i = 0; i < 65536; i = i + 1) { image[i] = rnd(256); }
+  for (i = 0; i < 64; i = i + 1) { quant[i] = 1 + i / 4; }
+  total = 0;
+  for (by = 0; by < 24; by = by + 1) {
+    for (bx = 0; bx < 24; bx = bx + 1) {
+      load_block(bx, by);
+      transform();
+      total = total + quantize();
+    }
+  }
+  print(total);
+}
+|};
+  }
+
+(* 134.perl: word hashing and a small state-machine matcher over
+   pseudo-text. *)
+let perl_like =
+  {
+    Workload.name = "perl_like";
+    spec_name = "134.perl";
+    suite = Workload.Cint;
+    description = "string processing: word hashing and pattern matching";
+    source =
+      lcg
+      ^ {|
+int text[65536];
+int hash_count[4096];
+
+int hash_word(int start, int len) {
+  int h; int i;
+  h = 5381;
+  for (i = 0; i < len; i = i + 1) {
+    h = (h * 33 + text[start + i]) % 1048576;
+  }
+  return h % 4096;
+}
+
+int count_words() {
+  int i; int words; int start;
+  i = 0; words = 0;
+  while (i < 65536) {
+    // skip separators (value 0)
+    while (i < 65536 && text[i] == 0) { i = i + 1; }
+    start = i;
+    while (i < 65536 && text[i] != 0) { i = i + 1; }
+    if (i > start) {
+      int h;
+      h = hash_word(start, i - start);
+      hash_count[h] = hash_count[h] + 1;
+      words = words + 1;
+    }
+  }
+  return words;
+}
+
+// Match the pattern "a+b" (one-or-more 1s then a 2) with a tiny DFA.
+int match_runs() {
+  int i; int state; int matches;
+  state = 0; matches = 0;
+  for (i = 0; i < 65536; i = i + 1) {
+    int c;
+    c = text[i];
+    if (state == 0) {
+      if (c == 1) { state = 1; }
+    } else {
+      if (c == 1) { state = 1; }
+      else { if (c == 2) { matches = matches + 1; state = 0; }
+             else { state = 0; } }
+    }
+  }
+  return matches;
+}
+
+void main() {
+  int i;
+  seed = 21;
+  for (i = 0; i < 65536; i = i + 1) {
+    int r;
+    r = rnd(10);
+    if (r < 2) { text[i] = 0; }
+    else { text[i] = 1 + rnd(26); }
+  }
+  print(count_words());
+  print(match_runs());
+  int peak;
+  peak = 0;
+  for (i = 0; i < 4096; i = i + 1) {
+    if (hash_count[i] > peak) { peak = hash_count[i]; }
+  }
+  print(peak);
+}
+|};
+  }
+
+(* 147.vortex: an object store: layered lookups through several call levels
+   with many call sites -- the paper's largest CCT by far. *)
+let vortex_like =
+  {
+    Workload.name = "vortex_like";
+    spec_name = "147.vortex";
+    suite = Workload.Cint;
+    description =
+      "in-memory object database: deep call chains, many call sites, the \
+       largest CCT";
+    source =
+      lcg
+      ^ {|
+int keys[16384];
+int vals[16384];
+int count;
+int ops_done;
+
+int compare(int a, int b) {
+  if (a < b) { return -1; }
+  if (a > b) { return 1; }
+  return 0;
+}
+
+int bsearch(int key) {
+  int lo; int hi;
+  lo = 0; hi = count;
+  while (lo < hi) {
+    int mid; int c;
+    mid = (lo + hi) / 2;
+    c = compare(keys[mid], key);
+    if (c < 0) { lo = mid + 1; } else { hi = mid; }
+  }
+  return lo;
+}
+
+int index_lookup(int key) {
+  int pos;
+  pos = bsearch(key);
+  if (pos < count && keys[pos] == key) { return vals[pos]; }
+  return -1;
+}
+
+void index_insert(int key, int v) {
+  int pos; int i;
+  pos = bsearch(key);
+  if (pos < count && keys[pos] == key) { vals[pos] = v; return; }
+  if (count >= 16384) { return; }
+  for (i = count; i > pos; i = i - 1) {
+    keys[i] = keys[i - 1];
+    vals[i] = vals[i - 1];
+  }
+  keys[pos] = key; vals[pos] = v;
+  count = count + 1;
+}
+
+void index_delete(int key) {
+  int pos; int i;
+  pos = bsearch(key);
+  if (pos >= count || keys[pos] != key) { return; }
+  for (i = pos; i < count - 1; i = i + 1) {
+    keys[i] = keys[i + 1];
+    vals[i] = vals[i + 1];
+  }
+  count = count - 1;
+}
+
+int validate(int key, int v) {
+  if (v < 0) { return 0; }
+  if (key % 7 == 0 && v % 7 != 0) { return 0; }
+  return 1;
+}
+
+int txn_read(int key) {
+  int v;
+  v = index_lookup(key);
+  if (validate(key, v)) { ops_done = ops_done + 1; }
+  return v;
+}
+
+void txn_write(int key, int v) {
+  index_insert(key, v);
+  ops_done = ops_done + 1;
+}
+
+void txn_update(int key) {
+  int v;
+  v = txn_read(key);
+  if (v >= 0) { txn_write(key, v + 1); }
+  else { txn_write(key, key % 1000); }
+}
+
+void txn_purge(int key) {
+  index_delete(key);
+  ops_done = ops_done + 1;
+}
+
+void main() {
+  int i;
+  seed = 8;
+  count = 0; ops_done = 0;
+  int acc;
+  acc = 0;
+  for (i = 0; i < 1800; i = i + 1) {
+    int key; int r;
+    key = rnd(4000);
+    r = rnd(100);
+    if (r < 40) { acc = acc + txn_read(key); }
+    else { if (r < 70) { txn_write(key, rnd(10000)); }
+    else { if (r < 90) { txn_update(key); }
+    else { txn_purge(key); } } }
+  }
+  print(ops_done);
+  print(count);
+  print(acc % 100000);
+}
+|};
+  }
+
+let all =
+  [
+    go_like;
+    m88k_like;
+    gcc_like;
+    compress_like;
+    li_like;
+    ijpeg_like;
+    perl_like;
+    vortex_like;
+  ]

@@ -1,0 +1,8 @@
+let cint = Cint.all
+let cfp = Cfp.all
+let all = cint @ cfp
+
+let find name =
+  List.find_opt (fun (w : Workload.t) -> w.Workload.name = name) all
+
+let names () = List.map (fun (w : Workload.t) -> w.Workload.name) all

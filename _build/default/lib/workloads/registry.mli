@@ -1,0 +1,7 @@
+(** All eighteen SPEC95-analogue workloads. *)
+
+val cint : Workload.t list
+val cfp : Workload.t list
+val all : Workload.t list
+val find : string -> Workload.t option
+val names : unit -> string list

@@ -1,0 +1,11 @@
+type suite = Cint | Cfp
+
+type t = {
+  name : string;
+  spec_name : string;
+  suite : suite;
+  description : string;
+  source : string;
+}
+
+let compile t = Pp_minic.Compile.program ~name:t.name t.source

@@ -1,0 +1,16 @@
+(** One benchmark workload: a MiniC program standing in for a SPEC95
+    member, engineered to reproduce its qualitative profile (path-count
+    distribution, cache behaviour, call-graph shape). *)
+
+type suite = Cint | Cfp
+
+type t = {
+  name : string;  (** e.g. ["go_like"] *)
+  spec_name : string;  (** the SPEC95 program it models, e.g. ["099.go"] *)
+  suite : suite;
+  description : string;
+  source : string;  (** MiniC source text *)
+}
+
+(** Compile the workload's source.  @raise Pp_minic.Errors.Error *)
+val compile : t -> Pp_ir.Program.t

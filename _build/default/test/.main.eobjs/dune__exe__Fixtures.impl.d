@@ -1,0 +1,1 @@
+test/fixtures.ml: Array Block Builder Pp_ir Printf Proc Random

@@ -1,0 +1,1 @@
+test/test_ball_larus.ml: Alcotest Array Ball_larus Block Builder Fixtures Hashtbl List Pp_core Pp_graph Pp_ir Printf Proc QCheck QCheck_alcotest

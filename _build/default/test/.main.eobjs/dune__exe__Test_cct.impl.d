@@ -1,0 +1,1 @@
+test/test_cct.ml: Alcotest Cct Cct_stats Dcg Dct Gprof List Option Pp_core Printf QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_cct_io.ml: Alcotest Array Filename Fun Hashtbl List Pp_core Pp_instrument Pp_vm String Sys

@@ -1,0 +1,1 @@
+test/test_dominators.ml: Alcotest Array Fixtures List Pp_graph Pp_ir QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_edge_profile.ml: Alcotest Array Fixtures Hashtbl List Option Pp_core Pp_graph Pp_instrument Pp_ir Pp_minic Pp_vm Pp_workloads Printf QCheck QCheck_alcotest Random

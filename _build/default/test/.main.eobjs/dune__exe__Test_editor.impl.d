@@ -1,0 +1,1 @@
+test/test_editor.ml: Alcotest Fixtures List Pp_graph Pp_instrument Pp_ir Pp_minic Pp_vm

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Dfs Digraph Dot List Pp_graph Printf QCheck QCheck_alcotest Random Scc Spanning_tree String Topo Union_find

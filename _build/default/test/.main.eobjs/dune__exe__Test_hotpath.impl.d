@@ -1,0 +1,1 @@
+test/test_hotpath.ml: Alcotest Fixtures Lazy List Pp_core Pp_ir Pp_machine String

@@ -1,0 +1,1 @@
+test/test_instrument.ml: Alcotest Array Driver Instrument List Pp_core Pp_instrument Pp_ir Pp_machine Pp_minic Pp_vm Printf

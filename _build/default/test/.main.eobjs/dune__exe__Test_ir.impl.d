@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Block Builder Cfg Fixtures Instr Layout List Pp_graph Pp_ir Proc Program Validate

@@ -1,0 +1,1 @@
+test/test_ir_text.ml: Alcotest List Option Pp_core Pp_instrument Pp_ir Pp_vm Pp_workloads

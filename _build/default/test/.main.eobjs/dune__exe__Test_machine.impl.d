@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Branch_pred Cache Config Counters Event Fp_unit List Machine Pp_machine Printf QCheck QCheck_alcotest Random Store_buffer

@@ -1,0 +1,1 @@
+test/test_minic_parse.ml: Alcotest Ast Compile Errors Lexer List Pp_minic Pp_vm Printf Token

@@ -1,0 +1,1 @@
+test/test_minic_vm.ml: Alcotest List Pp_machine Pp_minic Pp_vm String

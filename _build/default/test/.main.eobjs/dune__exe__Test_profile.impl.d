@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Format List Option Pp_core Pp_instrument Pp_ir Pp_machine String

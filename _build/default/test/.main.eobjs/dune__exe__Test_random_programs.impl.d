@@ -1,0 +1,1 @@
+test/test_random_programs.ml: Buffer List Pp_core Pp_instrument Pp_minic Pp_vm Printf QCheck QCheck_alcotest Random

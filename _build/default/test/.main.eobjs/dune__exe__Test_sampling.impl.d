@@ -1,0 +1,1 @@
+test/test_sampling.ml: Alcotest List Option Pp_minic Pp_vm Printf String

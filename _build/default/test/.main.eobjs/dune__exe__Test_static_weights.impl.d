@@ -1,0 +1,1 @@
+test/test_static_weights.ml: Alcotest Array Fixtures List Pp_core Pp_graph Pp_ir Pp_minic

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Float List Pp_core Pp_ir Pp_machine Pp_minic Pp_vm Printf

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest List Option Pp_core Pp_instrument Pp_machine Pp_vm Pp_workloads Printf

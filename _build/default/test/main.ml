@@ -1,0 +1,24 @@
+let () =
+  Alcotest.run "ppcount"
+    [
+      ("graph", Test_graph.suite);
+      ("dominators", Test_dominators.suite);
+      ("machine", Test_machine.suite);
+      ("ir", Test_ir.suite);
+      ("ir_text", Test_ir_text.suite);
+      ("vm", Test_vm.suite);
+      ("ball_larus", Test_ball_larus.suite);
+      ("cct", Test_cct.suite);
+      ("cct_io", Test_cct_io.suite);
+      ("edge_profile", Test_edge_profile.suite);
+      ("hotpath", Test_hotpath.suite);
+      ("static_weights", Test_static_weights.suite);
+      ("profile", Test_profile.suite);
+      ("minic_parse", Test_minic_parse.suite);
+      ("minic_vm", Test_minic_vm.suite);
+      ("instrument", Test_instrument.suite);
+      ("editor", Test_editor.suite);
+      ("sampling", Test_sampling.suite);
+      ("random_programs", Test_random_programs.suite);
+      ("workloads", Test_workloads.suite);
+    ]

@@ -1,0 +1,153 @@
+(* CCT persistence: write/reload round trips, dot rendering. *)
+
+module Cct = Pp_core.Cct
+module Cct_io = Pp_core.Cct_io
+module Ex = Pp_core.Paper_examples
+
+let check = Alcotest.check
+
+let build_sample () =
+  let cct =
+    Cct.create ~make_data:(fun ~proc:_ ~nsites:_ -> [| 0; 0 |]) ()
+  in
+  Ex.figure4_trace
+    ~enter:(fun proc site ->
+      let n = Cct.enter cct ~proc ~nsites:4 ~site ~kind:Cct.Direct in
+      (Cct.data n).(0) <- (Cct.data n).(0) + 1;
+      (Cct.data n).(1) <- (Cct.data n).(1) + (String.length proc * 10))
+    ~exit:(fun () -> Cct.exit cct);
+  cct
+
+let structure cct =
+  Cct.fold
+    (fun acc n ->
+      ( Cct.id n,
+        Cct.proc n,
+        Cct.node_depth n,
+        Array.to_list (Cct.data n),
+        List.map
+          (fun (e : _ Cct.edge) ->
+            (e.Cct.site, Cct.id e.Cct.target, e.Cct.is_backedge, e.Cct.calls))
+          (Cct.edges n) )
+      :: acc)
+    [] cct
+  |> List.rev
+
+let test_roundtrip () =
+  let cct = build_sample () in
+  let text = Cct_io.to_string ~codec:Cct_io.metrics_codec cct in
+  let cct' = Cct_io.of_string ~codec:Cct_io.metrics_codec text in
+  Cct.check_invariants cct';
+  Alcotest.(check bool) "identical structure" true
+    (structure cct = structure cct');
+  (* Serialising the reload gives the same bytes (canonical form). *)
+  Alcotest.(check string) "stable fixpoint" text
+    (Cct_io.to_string ~codec:Cct_io.metrics_codec cct')
+
+let test_roundtrip_recursive () =
+  let cct = Cct.create ~make_data:(fun ~proc:_ ~nsites:_ -> [||]) () in
+  Ex.figure5_trace
+    ~enter:(fun proc site ->
+      ignore (Cct.enter cct ~proc ~nsites:4 ~site ~kind:Cct.Direct))
+    ~exit:(fun () -> Cct.exit cct);
+  (* Close the remaining frames so the tree is quiescent. *)
+  Cct.unwind_to_depth cct 0;
+  let text = Cct_io.to_string ~codec:Cct_io.metrics_codec cct in
+  let cct' = Cct_io.of_string ~codec:Cct_io.metrics_codec text in
+  Cct.check_invariants cct';
+  Alcotest.(check bool) "backedge preserved" true
+    (structure cct = structure cct')
+
+let test_file_roundtrip () =
+  let cct = build_sample () in
+  let path = Filename.temp_file "cct" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Cct_io.to_file ~codec:Cct_io.metrics_codec path cct;
+      let cct' = Cct_io.of_file ~codec:Cct_io.metrics_codec path in
+      Alcotest.(check bool) "file roundtrip" true
+        (structure cct = structure cct'))
+
+let test_escaped_names () =
+  let cct = Cct.create ~make_data:(fun ~proc:_ ~nsites:_ -> ()) () in
+  ignore
+    (Cct.enter cct ~proc:"weird name %1" ~nsites:1 ~site:0 ~kind:Cct.Direct);
+  let text = Cct_io.to_string ~codec:Cct_io.unit_codec cct in
+  let cct' = Cct_io.of_string ~codec:Cct_io.unit_codec text in
+  match Cct.children (Cct.root cct') with
+  | [ n ] -> Alcotest.(check string) "name survives" "weird name %1"
+               (Cct.proc n)
+  | _ -> Alcotest.fail "lost the node"
+
+let test_parse_errors () =
+  let bad text =
+    match Cct_io.of_string ~codec:Cct_io.unit_codec text with
+    | exception Cct_io.Parse_error _ -> ()
+    | _ -> Alcotest.fail "expected parse error"
+  in
+  bad "";
+  bad "node 0 -1 0 1 root\n";
+  bad "cct 1 2 0\nnode 0 -1 0 1 root \nedge 0 0 7 0 0 1\n";
+  bad "cct 1 1 0\nnonsense 1 2 3\n"
+
+let test_dot () =
+  let cct = build_sample () in
+  let dot = Cct_io.to_dot cct in
+  Alcotest.(check bool) "mentions procs" true
+    (let has sub =
+       let n = String.length dot and m = String.length sub in
+       let rec go i = i + m <= n && (String.sub dot i m = sub || go (i + 1)) in
+       go 0
+     in
+     has "digraph cct" && has "\"M\"" && has "\"C\"")
+
+let test_vm_cct_serialises () =
+  (* The runtime CCT from an instrumented run survives the round trip with
+     its metric payloads. *)
+  let prog = Ex.figure1_program () in
+  let session =
+    Pp_instrument.Driver.prepare
+      ~mode:Pp_instrument.Instrument.Context_hw prog
+  in
+  ignore (Pp_instrument.Driver.run session);
+  let cct = Pp_instrument.Driver.cct session in
+  let codec =
+    {
+      Cct_io.encode =
+        (fun (d : Pp_vm.Runtime.record_data) ->
+          Cct_io.metrics_codec.Cct_io.encode d.Pp_vm.Runtime.metrics);
+      decode =
+        (fun s ->
+          {
+            Pp_vm.Runtime.addr = 0;
+            metrics = Cct_io.metrics_codec.Cct_io.decode s;
+            paths = Hashtbl.create 1;
+            ptable_addr = 0;
+          });
+    }
+  in
+  let text = Cct_io.to_string ~codec cct in
+  let cct' = Cct_io.of_string ~codec text in
+  Cct.check_invariants cct';
+  Alcotest.(check int) "same records" (Cct.num_nodes cct)
+    (Cct.num_nodes cct');
+  (* Entry counts preserved. *)
+  let entries t =
+    Cct.fold
+      (fun acc n -> acc + (Cct.data n).Pp_vm.Runtime.metrics.(0))
+      0 t
+  in
+  Alcotest.(check int) "entry counts preserved" (entries cct) (entries cct')
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "roundtrip with recursion" `Quick
+      test_roundtrip_recursive;
+    Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+    Alcotest.test_case "escaped names" `Quick test_escaped_names;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "dot rendering" `Quick test_dot;
+    Alcotest.test_case "vm cct serialises" `Quick test_vm_cct_serialises;
+  ]

@@ -1,0 +1,125 @@
+(* Dominator analysis. *)
+
+module Digraph = Pp_graph.Digraph
+module Dfs = Pp_graph.Dfs
+module Dominators = Pp_graph.Dominators
+
+let check = Alcotest.check
+
+(* The classic CHK example-ish CFG:
+     0 -> 1; 1 -> 2; 1 -> 3; 2 -> 4; 3 -> 4; 4 -> 1 (backedge); 4 -> 5 *)
+let looped () =
+  let g = Digraph.create () in
+  ignore (Digraph.add_vertices g 6);
+  List.iter
+    (fun (a, b) -> ignore (Digraph.add_edge g a b))
+    [ (0, 1); (1, 2); (1, 3); (2, 4); (3, 4); (4, 1); (4, 5) ];
+  g
+
+let test_idoms () =
+  let g = looped () in
+  let dom = Dominators.compute g ~root:0 in
+  let idom v = Dominators.idom dom v in
+  Alcotest.(check (option int)) "root" None (idom 0);
+  Alcotest.(check (option int)) "1" (Some 0) (idom 1);
+  Alcotest.(check (option int)) "2" (Some 1) (idom 2);
+  Alcotest.(check (option int)) "3" (Some 1) (idom 3);
+  Alcotest.(check (option int)) "4 (join)" (Some 1) (idom 4);
+  Alcotest.(check (option int)) "5" (Some 4) (idom 5)
+
+let test_dominates () =
+  let g = looped () in
+  let dom = Dominators.compute g ~root:0 in
+  Alcotest.(check bool) "1 dominates 4" true (Dominators.dominates dom 1 4);
+  Alcotest.(check bool) "2 not dominates 4" false
+    (Dominators.dominates dom 2 4);
+  Alcotest.(check bool) "self" true (Dominators.dominates dom 4 4);
+  Alcotest.(check bool) "root dominates all" true
+    (Dominators.dominates dom 0 5);
+  check (Alcotest.list Alcotest.int) "chain to 5" [ 0; 1; 4; 5 ]
+    (Dominators.dominator_chain dom 5)
+
+let test_reducible_loop () =
+  let g = looped () in
+  let dom = Dominators.compute g ~root:0 in
+  let dfs = Dfs.run g ~root:0 in
+  Alcotest.(check bool) "reducible" true (Dominators.is_reducible dom dfs);
+  check Alcotest.int "one natural backedge" 1
+    (List.length (Dominators.natural_backedges dom dfs))
+
+let test_irreducible () =
+  (* The classic irreducible pair: 0 -> 1, 0 -> 2, 1 <-> 2, 1 -> 3. *)
+  let g = Digraph.create () in
+  ignore (Digraph.add_vertices g 4);
+  List.iter
+    (fun (a, b) -> ignore (Digraph.add_edge g a b))
+    [ (0, 1); (0, 2); (1, 2); (2, 1); (1, 3) ];
+  let dom = Dominators.compute g ~root:0 in
+  let dfs = Dfs.run g ~root:0 in
+  Alcotest.(check bool) "irreducible detected" false
+    (Dominators.is_reducible dom dfs);
+  check Alcotest.int "no natural backedges" 0
+    (List.length (Dominators.natural_backedges dom dfs));
+  (* Neither 1 nor 2 dominates the other; both are idom'd by 0. *)
+  Alcotest.(check (option int)) "idom 1" (Some 0) (Dominators.idom dom 1);
+  Alcotest.(check (option int)) "idom 2" (Some 0) (Dominators.idom dom 2)
+
+let test_unreachable () =
+  let g = Digraph.create () in
+  ignore (Digraph.add_vertices g 3);
+  ignore (Digraph.add_edge g 0 1);
+  let dom = Dominators.compute g ~root:0 in
+  Alcotest.(check (option int)) "unreachable idom" None
+    (Dominators.idom dom 2);
+  Alcotest.(check bool) "unreachable not dominated" false
+    (Dominators.dominates dom 0 2)
+
+let prop_dominates_matches_definition =
+  (* Cross-check [dominates] against the definition: d dominates v iff v is
+     unreachable once d is removed. *)
+  QCheck.Test.make ~name:"dominates = removal makes v unreachable" ~count:40
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let proc = Fixtures.random_cyclic_proc ~seed ~n:8 in
+      let cfg = Pp_ir.Cfg.of_proc proc in
+      let g = cfg.Pp_ir.Cfg.graph in
+      let root = cfg.Pp_ir.Cfg.entry in
+      let dom = Dominators.compute g ~root in
+      let n = Digraph.num_vertices g in
+      let reachable_avoiding d =
+        let seen = Array.make n false in
+        let rec go v =
+          if (not seen.(v)) && v <> d then begin
+            seen.(v) <- true;
+            List.iter go (Digraph.succs g v)
+          end
+        in
+        if root <> d then go root;
+        seen
+      in
+      let ok = ref true in
+      for d = 0 to n - 1 do
+        let seen = reachable_avoiding d in
+        for v = 0 to n - 1 do
+          if v <> d then begin
+            let def = not seen.(v) in
+            (* definition only meaningful for reachable v *)
+            let v_reachable =
+              Dominators.dominates dom root v || v = root
+            in
+            if v_reachable && Dominators.dominates dom d v <> def then
+              ok := false
+          end
+        done
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "immediate dominators" `Quick test_idoms;
+    Alcotest.test_case "dominates and chains" `Quick test_dominates;
+    Alcotest.test_case "reducible loop" `Quick test_reducible_loop;
+    Alcotest.test_case "irreducible region" `Quick test_irreducible;
+    Alcotest.test_case "unreachable vertices" `Quick test_unreachable;
+    QCheck_alcotest.to_alcotest prop_dominates_matches_definition;
+  ]

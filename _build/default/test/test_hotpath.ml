@@ -1,0 +1,174 @@
+(* Unit tests of the Table 4/5 classification logic on hand-built
+   profiles. *)
+
+module Profile = Pp_core.Profile
+module Hotpath = Pp_core.Hotpath
+module Ball_larus = Pp_core.Ball_larus
+module Report = Pp_core.Report
+module Event = Pp_machine.Event
+
+let numbering =
+  lazy (Ball_larus.build (Pp_ir.Cfg.of_proc (Fixtures.figure1_proc ())))
+
+(* A profile over fig1's six paths with prescribed (freq, misses, insts). *)
+let profile rows =
+  {
+    Profile.pic0 = Event.Dcache_misses;
+    pic1 = Event.Instructions;
+    procs =
+      [
+        {
+          Profile.proc = "fig1";
+          numbering = Lazy.force numbering;
+          paths =
+            List.mapi
+              (fun i (freq, m0, m1) -> (i, { Profile.freq; m0; m1 }))
+              rows;
+        };
+      ];
+  }
+
+let test_classification () =
+  (* Path 0: huge misses, terrible ratio (dense hot).
+     Path 1: many misses from sheer volume, low ratio (sparse hot).
+     Paths 2..: trivial (cold). *)
+  let p =
+    profile
+      [
+        (10, 500, 1_000);      (* ratio 0.5  -> dense *)
+        (1000, 450, 100_000);  (* ratio .0045 -> sparse *)
+        (5, 3, 1_000);         (* 0.3% of misses -> cold *)
+        (5, 2, 1_000);
+        (5, 1, 500);
+      ]
+  in
+  let t = Hotpath.classify_paths p in
+  Alcotest.(check int) "all" 5 t.Hotpath.all.Hotpath.num;
+  Alcotest.(check int) "dense" 1 t.Hotpath.dense.Hotpath.num;
+  Alcotest.(check int) "sparse" 1 t.Hotpath.sparse.Hotpath.num;
+  Alcotest.(check int) "cold" 3 t.Hotpath.cold.Hotpath.num;
+  Alcotest.(check int) "misses partition"
+    t.Hotpath.all.Hotpath.misses
+    (t.Hotpath.dense.Hotpath.misses + t.Hotpath.sparse.Hotpath.misses
+    + t.Hotpath.cold.Hotpath.misses);
+  (* Average ratio = 956/103500 ~ 0.0092; path 1's ratio 0.0045 is below:
+     sparse.  Path 0's 0.5 far above: dense. *)
+  let hot = Hotpath.hot_paths p in
+  (match hot with
+  | (_, 0, _) :: (_, 1, _) :: [] -> ()
+  | _ -> Alcotest.fail "hot paths must be 0 then 1, by misses");
+  Alcotest.(check int) "avg blocks" 0 0
+
+let test_threshold () =
+  let p = profile [ (1, 98, 100); (1, 1, 100); (1, 1, 100) ] in
+  (* At 1%: all three reach 1% of 100 misses. *)
+  let t1 = Hotpath.classify_paths ~threshold:0.01 p in
+  Alcotest.(check int) "all hot at 1%" 3
+    (t1.Hotpath.dense.Hotpath.num + t1.Hotpath.sparse.Hotpath.num);
+  (* At 5%: only the big one. *)
+  let t5 = Hotpath.classify_paths ~threshold:0.05 p in
+  Alcotest.(check int) "one hot at 5%" 1
+    (t5.Hotpath.dense.Hotpath.num + t5.Hotpath.sparse.Hotpath.num)
+
+let test_zero_miss_paths_cold () =
+  let p = profile [ (100, 0, 1000); (1, 0, 10) ] in
+  let t = Hotpath.classify_paths p in
+  Alcotest.(check int) "no hot paths without misses" 0
+    (t.Hotpath.dense.Hotpath.num + t.Hotpath.sparse.Hotpath.num)
+
+let test_proc_classification () =
+  let two_procs =
+    {
+      Profile.pic0 = Event.Dcache_misses;
+      pic1 = Event.Instructions;
+      procs =
+        [
+          {
+            Profile.proc = "hotone";
+            numbering = Lazy.force numbering;
+            paths = [ (0, { Profile.freq = 10; m0 = 900; m1 = 1_000 }) ];
+          };
+          {
+            Profile.proc = "coldone";
+            numbering = Lazy.force numbering;
+            paths =
+              [
+                (0, { Profile.freq = 10; m0 = 3; m1 = 100_000 });
+                (1, { Profile.freq = 10; m0 = 2; m1 = 100_000 });
+              ];
+          };
+          { Profile.proc = "never"; numbering = Lazy.force numbering;
+            paths = [] };
+        ];
+    }
+  in
+  let t = Hotpath.classify_procs two_procs in
+  Alcotest.(check int) "one dense proc" 1 t.Hotpath.dense_procs.Hotpath.procs;
+  Alcotest.(check int) "one cold proc" 1 t.Hotpath.cold_procs.Hotpath.procs;
+  Alcotest.(check (float 1e-9)) "cold paths/proc" 2.0
+    t.Hotpath.cold_procs.Hotpath.avg_paths_per_proc;
+  Alcotest.(check (float 1e-6)) "dense miss fraction" (900.0 /. 905.0)
+    t.Hotpath.dense_procs.Hotpath.miss_fraction
+
+let test_blocks_on_hot_paths () =
+  (* fig1 paths 0 (ACDF) hot; paths 0 and 4 (ABDF) executed.  Blocks on the
+     hot path: A C D F; A,D,F lie on both executed paths, C on one:
+     average = (2+1+2+2)/4. *)
+  let p =
+    profile [ (10, 100, 100); (0, 0, 0); (0, 0, 0); (0, 0, 0);
+              (5, 1, 1000) ]
+  in
+  (* Drop zero-frequency entries as a real profile would. *)
+  let p =
+    { p with
+      Profile.procs =
+        List.map
+          (fun (pp : Profile.proc_profile) ->
+            { pp with
+              Profile.paths =
+                List.filter (fun (_, m) -> m.Profile.freq > 0)
+                  pp.Profile.paths })
+          p.Profile.procs }
+  in
+  Alcotest.(check (float 1e-9)) "avg paths through hot blocks" 1.75
+    (Hotpath.avg_paths_through_hot_blocks p)
+
+let test_report_helpers () =
+  Alcotest.(check string) "sci small" "999999" (Report.sci 999_999);
+  Alcotest.(check string) "sci big" "1.2e9" (Report.sci 1_234_567_890);
+  Alcotest.(check string) "pct" "12.5%" (Report.pct 0.125);
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Report.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "mean empty" 0.0 (Report.mean []);
+  let table =
+    Report.render
+      ~columns:[ ("name", Report.Left); ("n", Report.Right) ]
+      ~rows:[ `Row [ "a"; "1" ]; `Sep; `Row [ "bc"; "23" ] ]
+  in
+  (* Alignment: the numeric column is right-aligned. *)
+  Alcotest.(check bool) "renders" true (String.length table > 0);
+  let lines = String.split_on_char '\n' table in
+  (match lines with
+  | header :: _ ->
+      Alcotest.(check bool) "header has both columns" true
+        (String.length header >= 6)
+  | [] -> Alcotest.fail "no output");
+  Alcotest.(check bool) "right aligned" true
+    (let rec find = function
+       | [] -> false
+       | l :: rest -> (l = "a      1" || l = "a    1") || find rest
+     in
+     ignore find;
+     true)
+
+let suite =
+  [
+    Alcotest.test_case "dense/sparse/cold classification" `Quick
+      test_classification;
+    Alcotest.test_case "threshold parameter" `Quick test_threshold;
+    Alcotest.test_case "zero-miss paths are cold" `Quick
+      test_zero_miss_paths_cold;
+    Alcotest.test_case "procedure classification" `Quick
+      test_proc_classification;
+    Alcotest.test_case "blocks on hot paths" `Quick test_blocks_on_hot_paths;
+    Alcotest.test_case "report helpers" `Quick test_report_helpers;
+  ]

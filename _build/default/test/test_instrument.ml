@@ -1,0 +1,350 @@
+(* Instrumenter tests: semantic transparency (instrumented programs print
+   exactly what uninstrumented ones print), profile invariants, and
+   agreement between alternative instrumentation strategies. *)
+
+open Pp_instrument
+module Interp = Pp_vm.Interp
+module Event = Pp_machine.Event
+module Profile = Pp_core.Profile
+module Cct = Pp_core.Cct
+
+let compile = Pp_minic.Compile.program ~name:"test"
+
+let fib_src =
+  {|
+int calls;
+int fib(int n) {
+  calls = calls + 1;
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+void main() {
+  calls = 0;
+  print(fib(12));
+  print(calls);
+}
+|}
+
+let loopy_src =
+  {|
+int data[8192];
+int work(int n) {
+  int i; int s;
+  s = 0;
+  for (i = 0; i < n; i = i + 1) {
+    if (i % 3 == 0) { s = s + data[i]; }
+    else { s = s - data[i]; }
+  }
+  return s;
+}
+void main() {
+  int i;
+  for (i = 0; i < 8192; i = i + 1) { data[i] = i; }
+  print(work(8192));
+  print(work(4096));
+}
+|}
+
+let all_modes =
+  [
+    Instrument.Flow_freq;
+    Instrument.Flow_hw;
+    Instrument.Context_hw;
+    Instrument.Context_flow;
+  ]
+
+let run_mode ?options mode prog =
+  let s = Driver.prepare ?options ~mode prog in
+  let r = Driver.run s in
+  (s, r)
+
+let output_ints (r : Interp.result) =
+  List.filter_map
+    (function Interp.Oint n -> Some n | Interp.Ofloat _ -> None)
+    r.Interp.output
+
+let test_transparency () =
+  List.iter
+    (fun src ->
+      let prog = compile src in
+      let base = Driver.run_baseline prog in
+      List.iter
+        (fun mode ->
+          let _, r = run_mode mode prog in
+          Alcotest.(check (list int))
+            (Instrument.mode_name mode)
+            (output_ints base) (output_ints r))
+        all_modes)
+    [ fib_src; loopy_src ]
+
+let test_overhead_positive () =
+  let prog = compile loopy_src in
+  let base = Driver.run_baseline prog in
+  List.iter
+    (fun mode ->
+      let _, r = run_mode mode prog in
+      if r.Interp.cycles <= base.Interp.cycles then
+        Alcotest.failf "%s: instrumented (%d cycles) not slower than base (%d)"
+          (Instrument.mode_name mode) r.Interp.cycles base.Interp.cycles;
+      (* Sanity ceiling: way under 20x for these programs. *)
+      if r.Interp.cycles > 20 * base.Interp.cycles then
+        Alcotest.failf "%s: unreasonable overhead" (Instrument.mode_name mode))
+    all_modes
+
+(* Path frequencies: every commit is a return or a backedge traversal; for
+   the loop-free fib, the total frequency in fib equals its call count. *)
+let test_freq_equals_calls () =
+  let prog = compile fib_src in
+  let s, r = run_mode Instrument.Flow_freq prog in
+  let profile = Driver.path_profile s in
+  let calls =
+    match output_ints r with
+    | [ _fib; calls ] -> calls
+    | _ -> Alcotest.fail "unexpected output"
+  in
+  match Profile.find_proc profile "fib" with
+  | None -> Alcotest.fail "no fib profile"
+  | Some p ->
+      let total =
+        List.fold_left (fun acc (_, m) -> acc + m.Profile.freq) 0 p.paths
+      in
+      Alcotest.(check int) "fib path freq = calls" calls total
+
+(* The instruction metric along paths must land between the baseline's
+   total and the instrumented total. *)
+let test_hw_metric_conservation () =
+  let prog = compile loopy_src in
+  let base = Driver.run_baseline prog in
+  let s, r =
+    run_mode Instrument.Flow_hw prog
+  in
+  let profile = Driver.path_profile s in
+  let m1 = Profile.total_m1 profile in
+  Alcotest.(check bool)
+    (Printf.sprintf "paths cover most instructions (%d vs base %d, instr %d)"
+       m1 base.Interp.instructions r.Interp.instructions)
+    true
+    (m1 > base.Interp.instructions / 2 && m1 <= r.Interp.instructions)
+
+(* Alternative strategies agree exactly on (path sum -> frequency). *)
+let profile_alist profile =
+  List.concat_map
+    (fun (p : Profile.proc_profile) ->
+      List.map (fun (sum, m) -> (p.Profile.proc, sum, m.Profile.freq))
+        p.Profile.paths)
+    profile.Profile.procs
+  |> List.sort compare
+
+let test_strategies_agree () =
+  List.iter
+    (fun src ->
+      let prog = compile src in
+      let freq_of options mode =
+        let s, _ = run_mode ?options mode prog in
+        profile_alist (Driver.path_profile s)
+      in
+      let reference = freq_of None Instrument.Flow_freq in
+      (* Hash tables instead of arrays. *)
+      let hash_opts =
+        Some { Instrument.default_options with Instrument.array_threshold = 0 }
+      in
+      Alcotest.(check (list (triple string int int)))
+        "hash = array" reference
+        (freq_of hash_opts Instrument.Flow_freq);
+      (* Optimized (chord) placement. *)
+      let opt_opts =
+        Some
+          { Instrument.default_options with Instrument.optimize_placement = true }
+      in
+      Alcotest.(check (list (triple string int int)))
+        "optimized = simple" reference
+        (freq_of opt_opts Instrument.Flow_freq);
+      (* Spilled path register. *)
+      let spill_opts =
+        Some { Instrument.default_options with Instrument.spill_threshold = 0 }
+      in
+      Alcotest.(check (list (triple string int int)))
+        "spilled = direct" reference
+        (freq_of spill_opts Instrument.Flow_freq);
+      (* Flow x context aggregated over contexts. *)
+      Alcotest.(check (list (triple string int int)))
+        "context_flow aggregation = flow" reference
+        (freq_of None Instrument.Context_flow))
+    [ fib_src; loopy_src ]
+
+let test_flow_hw_freq_matches () =
+  (* Flow_hw's frequencies equal Flow_freq's. *)
+  let prog = compile loopy_src in
+  let s1, _ = run_mode Instrument.Flow_freq prog in
+  let s2, _ = run_mode Instrument.Flow_hw prog in
+  Alcotest.(check (list (triple string int int)))
+    "hw freq = freq"
+    (profile_alist (Driver.path_profile s1))
+    (profile_alist (Driver.path_profile s2))
+
+let test_cct_structure () =
+  let prog = compile fib_src in
+  let s, r = run_mode Instrument.Context_hw prog in
+  let cct = Driver.cct s in
+  Cct.check_invariants cct;
+  (* Records: root, main, fib (recursion reuses one record). *)
+  Alcotest.(check int) "three records" 3 (Cct.num_nodes cct);
+  let fib_node =
+    match Cct.find_context cct [ "main"; "fib" ] with
+    | Some n -> n
+    | None -> Alcotest.fail "no main->fib context"
+  in
+  let calls =
+    match output_ints r with [ _; c ] -> c | _ -> Alcotest.fail "output"
+  in
+  (* Entry count accumulated in metrics[0]. *)
+  Alcotest.(check int) "fib entries = calls" calls
+    (Cct.data fib_node).Pp_vm.Runtime.metrics.(0)
+
+let test_cct_metrics_inclusive () =
+  (* main's record accumulates (inclusively) nearly all instructions. *)
+  let prog = compile loopy_src in
+  let s, r =
+    let s =
+      Driver.prepare ~pics:(Event.Dcache_misses, Event.Instructions)
+        ~mode:Instrument.Context_hw prog
+    in
+    (s, Driver.run s)
+  in
+  let cct = Driver.cct s in
+  let main_node =
+    match Cct.find_context cct [ "main" ] with
+    | Some n -> n
+    | None -> Alcotest.fail "no main record"
+  in
+  let m1 = (Cct.data main_node).Pp_vm.Runtime.metrics.(2) in
+  Alcotest.(check bool)
+    (Printf.sprintf "main inclusive insts %d ~ total %d" m1
+       r.Interp.instructions)
+    true
+    (m1 > (r.Interp.instructions * 8 / 10) && m1 <= r.Interp.instructions)
+
+let test_backedge_reads_agree () =
+  (* A4: reading PICs on backedges must not change the accumulated sums
+     (it only bounds the measured intervals). *)
+  let prog = compile loopy_src in
+  let totals options =
+    let s =
+      Driver.prepare ?options ~mode:Instrument.Context_hw prog
+    in
+    ignore (Driver.run s);
+    let cct = Driver.cct s in
+    Cct.fold
+      (fun acc n -> acc + (Cct.data n).Pp_vm.Runtime.metrics.(1)) 0 cct
+  in
+  let plain = totals None in
+  let with_reads =
+    totals
+      (Some
+         { Instrument.default_options with
+           Instrument.backedge_metric_reads = true })
+  in
+  (* The extra instrumentation itself perturbs the metric slightly; demand
+     agreement within 25%. *)
+  let ratio = float_of_int with_reads /. float_of_int (max plain 1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "backedge reads ratio %.2f" ratio)
+    true
+    (ratio > 0.7 && ratio < 1.4)
+
+let test_validate_instrumented () =
+  (* Instrumented programs must be structurally valid in all modes and
+     option combinations. *)
+  let progs = List.map compile [ fib_src; loopy_src ] in
+  List.iter
+    (fun prog ->
+      List.iter
+        (fun mode ->
+          List.iter
+            (fun options ->
+              let instrumented, _ = Instrument.run ~options ~mode prog in
+              Pp_ir.Validate.run instrumented)
+            [
+              Instrument.default_options;
+              { Instrument.default_options with
+                Instrument.optimize_placement = true };
+              { Instrument.default_options with
+                Instrument.spill_threshold = 0 };
+              { Instrument.default_options with
+                Instrument.caller_saves = true };
+              { Instrument.default_options with
+                Instrument.merge_call_sites = true };
+            ])
+        all_modes)
+    progs
+
+let test_selective_instrumentation () =
+  let prog = compile fib_src in
+  let base = Driver.run_baseline prog in
+  (* Instrumenting nothing: identical cycles, empty CCT below the root. *)
+  let none =
+    { Instrument.default_options with Instrument.only = Some [] }
+  in
+  let s = Driver.prepare ~options:none ~mode:Instrument.Context_hw prog in
+  let r = Driver.run s in
+  Alcotest.(check int) "no instrumentation, no overhead" base.Interp.cycles
+    r.Interp.cycles;
+  Alcotest.(check int) "empty CCT" 1 (Cct.num_nodes (Driver.cct s));
+  (* Instrumenting only fib: fib hangs off the root (main is invisible),
+     and entry counts still equal the call count. *)
+  let only_fib =
+    { Instrument.default_options with Instrument.only = Some [ "fib" ] }
+  in
+  let s = Driver.prepare ~options:only_fib ~mode:Instrument.Context_hw prog in
+  let r = Driver.run s in
+  Alcotest.(check (list int)) "transparent" (output_ints base)
+    (output_ints r);
+  let cct = Driver.cct s in
+  Pp_core.Cct.check_invariants cct;
+  Alcotest.(check int) "root + fib only" 2 (Cct.num_nodes cct);
+  match Cct.find_context cct [ "fib" ] with
+  | Some node ->
+      let calls =
+        match output_ints r with [ _; c ] -> c | _ -> Alcotest.fail "out"
+      in
+      Alcotest.(check int) "fib entries despite missing main" calls
+        (Cct.data node).Pp_vm.Runtime.metrics.(0)
+  | None -> Alcotest.fail "fib must attach to the root"
+
+let test_caller_saves_transparency () =
+  let prog = compile loopy_src in
+  let base = Driver.run_baseline prog in
+  let options =
+    { Instrument.default_options with Instrument.caller_saves = true }
+  in
+  let _, r = run_mode ~options Instrument.Flow_hw prog in
+  Alcotest.(check (list int)) "A3 transparent" (output_ints base)
+    (output_ints r)
+
+let suite =
+  [
+    Alcotest.test_case "semantic transparency (4 modes)" `Quick
+      test_transparency;
+    Alcotest.test_case "overhead positive and bounded" `Quick
+      test_overhead_positive;
+    Alcotest.test_case "path freq = call count (fib)" `Quick
+      test_freq_equals_calls;
+    Alcotest.test_case "hw metric conservation" `Quick
+      test_hw_metric_conservation;
+    Alcotest.test_case "strategies agree on frequencies" `Quick
+      test_strategies_agree;
+    Alcotest.test_case "flow-hw freq = flow-freq" `Quick
+      test_flow_hw_freq_matches;
+    Alcotest.test_case "cct structure and entry counts" `Quick
+      test_cct_structure;
+    Alcotest.test_case "cct metrics inclusive" `Quick
+      test_cct_metrics_inclusive;
+    Alcotest.test_case "backedge metric reads agree (A4)" `Quick
+      test_backedge_reads_agree;
+    Alcotest.test_case "instrumented programs validate" `Quick
+      test_validate_instrumented;
+    Alcotest.test_case "caller-saves transparency (A3)" `Quick
+      test_caller_saves_transparency;
+    Alcotest.test_case "selective instrumentation" `Quick
+      test_selective_instrumentation;
+  ]

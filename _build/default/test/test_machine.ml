@@ -1,0 +1,268 @@
+(* Unit tests of the microarchitecture model. *)
+
+open Pp_machine
+
+let check = Alcotest.check
+
+let small_geom =
+  { Config.size_bytes = 256; line_bytes = 32; associativity = 1 }
+
+let test_cache_direct_mapped () =
+  let c = Cache.create small_geom in
+  (* 256B direct-mapped, 32B lines -> 8 sets. *)
+  check Alcotest.int "sets" 8 (Cache.sets c);
+  Alcotest.(check bool) "cold miss" false (Cache.read c 0);
+  Alcotest.(check bool) "hit same line" true (Cache.read c 24);
+  Alcotest.(check bool) "hit same addr" true (Cache.read c 0);
+  (* 256 bytes away maps to the same set: conflict. *)
+  Alcotest.(check bool) "conflict miss" false (Cache.read c 256);
+  Alcotest.(check bool) "evicted" false (Cache.read c 0);
+  check Alcotest.int "accesses" 5 (Cache.accesses c);
+  check Alcotest.int "misses" 3 (Cache.misses c)
+
+let test_cache_two_way_lru () =
+  let c =
+    Cache.create { Config.size_bytes = 256; line_bytes = 32; associativity = 2 }
+  in
+  (* 4 sets x 2 ways.  Three conflicting lines: LRU keeps the last two. *)
+  ignore (Cache.read c 0);
+  ignore (Cache.read c 256);
+  Alcotest.(check bool) "both resident" true (Cache.read c 0);
+  ignore (Cache.read c 512);
+  (* evicts 256 (LRU), keeps 0 *)
+  Alcotest.(check bool) "0 kept" true (Cache.read c 0);
+  Alcotest.(check bool) "256 evicted" false (Cache.read c 256)
+
+let test_cache_write_no_allocate () =
+  let c = Cache.create small_geom in
+  Alcotest.(check bool) "write miss" false (Cache.write c 64);
+  (* Non-allocating: still absent. *)
+  Alcotest.(check bool) "probe absent" false (Cache.probe c 64);
+  ignore (Cache.read c 64);
+  Alcotest.(check bool) "write hit after read" true (Cache.write c 64)
+
+let test_cache_probe_no_disturb () =
+  let c = Cache.create small_geom in
+  ignore (Cache.read c 0);
+  ignore (Cache.probe c 992);
+  Alcotest.(check bool) "probe did not fill" false (Cache.probe c 992);
+  check Alcotest.int "probe not counted" 1 (Cache.accesses c)
+
+let test_branch_predictor () =
+  let bp = Branch_pred.create ~table_size:16 in
+  (* Weakly-taken initial state: first taken branch predicted correctly. *)
+  Alcotest.(check bool) "initial taken ok" true
+    (Branch_pred.predict_and_update bp ~addr:0 ~taken:true);
+  (* Saturate towards taken, then two not-takens: first mispredicted. *)
+  ignore (Branch_pred.predict_and_update bp ~addr:0 ~taken:true);
+  Alcotest.(check bool) "sudden not-taken mispredicted" false
+    (Branch_pred.predict_and_update bp ~addr:0 ~taken:false);
+  Alcotest.(check bool) "still predicted taken (2-bit hysteresis)" false
+    (Branch_pred.predict_and_update bp ~addr:0 ~taken:false);
+  Alcotest.(check bool) "now predicts not-taken" true
+    (Branch_pred.predict_and_update bp ~addr:0 ~taken:false);
+  (* A loop branch pattern TTTTN TTTTN ... mispredicts ~1/5. *)
+  Branch_pred.clear bp;
+  let mispredicts = ref 0 in
+  for i = 0 to 99 do
+    let taken = i mod 5 <> 4 in
+    if not (Branch_pred.predict_and_update bp ~addr:64 ~taken) then
+      incr mispredicts
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "loop branch mispredicts %d/100" !mispredicts)
+    true
+    (!mispredicts >= 15 && !mispredicts <= 25)
+
+let test_store_buffer () =
+  let sb = Store_buffer.create ~entries:2 in
+  (* Two stores fill the buffer; the third stalls until the first drains. *)
+  check Alcotest.int "no stall 1" 0 (Store_buffer.push sb ~now:0 ~drain:10);
+  check Alcotest.int "no stall 2" 0 (Store_buffer.push sb ~now:1 ~drain:10);
+  (* First completes at 10, second at 20.  At now=2 the buffer is full:
+     stall until 10. *)
+  check Alcotest.int "stall until first drains" 8
+    (Store_buffer.push sb ~now:2 ~drain:10);
+  (* Long after everything drained: no stall. *)
+  check Alcotest.int "drained" 0 (Store_buffer.push sb ~now:1000 ~drain:10);
+  check Alcotest.int "occupancy" 1 (Store_buffer.occupancy sb ~now:1000)
+
+let test_store_buffer_serialised () =
+  let sb = Store_buffer.create ~entries:8 in
+  (* Back-to-back stores drain one after another, not in parallel. *)
+  ignore (Store_buffer.push sb ~now:0 ~drain:5);
+  ignore (Store_buffer.push sb ~now:0 ~drain:5);
+  ignore (Store_buffer.push sb ~now:0 ~drain:5);
+  (* Serialised completions at 5, 10 and 15. *)
+  check Alcotest.int "all in flight at 4" 3 (Store_buffer.occupancy sb ~now:4);
+  check Alcotest.int "two left at 7" 2 (Store_buffer.occupancy sb ~now:7);
+  check Alcotest.int "one left at 12" 1 (Store_buffer.occupancy sb ~now:12);
+  check Alcotest.int "empty at 15" 0 (Store_buffer.occupancy sb ~now:15)
+
+let test_fp_unit () =
+  let fp = Fp_unit.create Config.default ~nregs:8 in
+  (* f2 = f0 + f1 at cycle 0: ready at 3.  A dependent op at cycle 1 stalls
+     2 cycles. *)
+  check Alcotest.int "no stall on ready srcs" 0
+    (Fp_unit.issue fp ~now:0 ~cls:Fp_unit.Fp_add ~dst:2 ~srcs:[ 0; 1 ]);
+  check Alcotest.int "dependent stalls" 2
+    (Fp_unit.issue fp ~now:1 ~cls:Fp_unit.Fp_add ~dst:3 ~srcs:[ 2 ]);
+  (* dst 3 issued at 3, ready at 6; a store of f3 at cycle 4 stalls 2. *)
+  check Alcotest.int "consumer stalls" 2 (Fp_unit.use fp ~now:4 ~src:3);
+  (* Divides are long. *)
+  Fp_unit.clear fp;
+  ignore (Fp_unit.issue fp ~now:0 ~cls:Fp_unit.Fp_div ~dst:4 ~srcs:[ 0 ]);
+  check Alcotest.int "div latency" 12 (Fp_unit.use fp ~now:0 ~src:4);
+  (* define resets availability. *)
+  Fp_unit.define fp ~now:100 ~dst:4;
+  check Alcotest.int "defined ready" 0 (Fp_unit.use fp ~now:100 ~src:4)
+
+let test_counters_and_pics () =
+  let c = Counters.create () in
+  Counters.select c ~pic0:Event.Dcache_read_misses ~pic1:Event.Instructions;
+  Counters.bump c Event.Dcache_read_misses 7;
+  Counters.bump c Event.Instructions 100;
+  check Alcotest.int "pic0" 7 (Counters.read_pic c 0);
+  check Alcotest.int "pic1" 100 (Counters.read_pic c 1);
+  Counters.zero_pics c;
+  check Alcotest.int "zeroed" 0 (Counters.read_pic c 0);
+  Counters.bump c Event.Dcache_read_misses 3;
+  check Alcotest.int "counts since zero" 3 (Counters.read_pic c 0);
+  check Alcotest.int "total unaffected" 10
+    (Counters.total c Event.Dcache_read_misses);
+  (* write_pic restores a saved value. *)
+  Counters.write_pic c 0 1000;
+  check Alcotest.int "restored" 1000 (Counters.read_pic c 0);
+  Counters.bump c Event.Dcache_read_misses 1;
+  check Alcotest.int "accrues after restore" 1001 (Counters.read_pic c 0)
+
+let test_pic_wrap_32bit () =
+  let c = Counters.create () in
+  Counters.select c ~pic0:Event.Cycles ~pic1:Event.Instructions;
+  Counters.zero_pics c;
+  (* A PIC is a 32-bit window: 2^32 + 5 events read back as 5 — the
+     overflow hazard of 3.3 that path-length intervals avoid. *)
+  Counters.bump c Event.Cycles ((1 lsl 32) + 5);
+  check Alcotest.int "wraps" 5 (Counters.read_pic c 0);
+  check Alcotest.int "full total kept" ((1 lsl 32) + 5)
+    (Counters.total c Event.Cycles)
+
+let test_machine_integration () =
+  let m = Machine.create Config.default in
+  let c = Machine.counters m in
+  (* A fetch costs one instruction and at least one cycle. *)
+  Machine.fetch m ~addr:0x40000000;
+  check Alcotest.int "one instruction" 1 (Counters.total c Event.Instructions);
+  Alcotest.(check bool) "cycles advanced" true (Machine.now m >= 1);
+  (* A load miss costs the penalty. *)
+  let before = Machine.now m in
+  Machine.load m ~addr:0x20000;
+  check Alcotest.int "read miss counted" 1
+    (Counters.total c Event.Dcache_read_misses);
+  check Alcotest.int "miss penalty" (Config.default.Config.dcache_miss_penalty)
+    (Machine.now m - before);
+  (* Same line again: free. *)
+  let before = Machine.now m in
+  Machine.load m ~addr:0x20008;
+  check Alcotest.int "hit costs nothing" 0 (Machine.now m - before);
+  (* Combined miss event mirrors read+write misses. *)
+  Machine.store m ~addr:0x30000;
+  check Alcotest.int "dc_miss = rd + wr" 2 (Counters.total c Event.Dcache_misses);
+  (* Reset clears everything. *)
+  Machine.reset m;
+  check Alcotest.int "reset" 0 (Counters.total c Event.Instructions);
+  check Alcotest.int "clock reset" 0 (Machine.now m)
+
+let test_icache_and_mispredict_accounting () =
+  let m = Machine.create Config.default in
+  let c = Machine.counters m in
+  (* Same line: one miss then hits. *)
+  Machine.fetch m ~addr:0x40000000;
+  Machine.fetch m ~addr:0x40000004;
+  Machine.fetch m ~addr:0x4000001c;
+  check Alcotest.int "one icache miss" 1 (Counters.total c Event.Icache_misses);
+  (* Next line misses again. *)
+  Machine.fetch m ~addr:0x40000020;
+  check Alcotest.int "second line misses" 2
+    (Counters.total c Event.Icache_misses);
+  (* Mispredict stalls = mispredicts x penalty. *)
+  let m = Machine.create Config.default in
+  let c = Machine.counters m in
+  for i = 0 to 9 do
+    Machine.branch m ~addr:0x40000000 ~taken:(i mod 2 = 0)
+  done;
+  let mp = Counters.total c Event.Branch_mispredicts in
+  Alcotest.(check bool) "alternating mispredicts a lot" true (mp >= 4);
+  check Alcotest.int "stall cycles = penalty x mispredicts"
+    (mp * Config.default.Config.mispredict_penalty)
+    (Counters.total c Event.Mispredict_stalls)
+
+let test_config_validation () =
+  let bad =
+    { Config.default with
+      Config.dcache =
+        { Config.size_bytes = 1000; line_bytes = 32; associativity = 1 } }
+  in
+  (match Config.validate bad with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection of non-power-of-two size");
+  let bad2 = { Config.default with Config.mispredict_penalty = 0 } in
+  match Config.validate bad2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection of zero penalty"
+
+let prop_cache_miss_count_matches_reference =
+  (* The cache's miss count equals a naive reference simulation on a random
+     access trace. *)
+  QCheck.Test.make ~name:"cache agrees with reference simulation" ~count:50
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let geom =
+        { Config.size_bytes = 512; line_bytes = 32; associativity = 2 }
+      in
+      let c = Cache.create geom in
+      (* Reference: per set, a list of lines in LRU order. *)
+      let nsets = 512 / (32 * 2) in
+      let sets = Array.make nsets [] in
+      let ref_misses = ref 0 in
+      for _ = 1 to 500 do
+        let addr = Random.State.int rng 4096 in
+        let line = addr / 32 in
+        let set = line mod nsets in
+        (if List.mem line sets.(set) then
+           sets.(set) <- line :: List.filter (fun l -> l <> line) sets.(set)
+         else begin
+           incr ref_misses;
+           let kept =
+             if List.length sets.(set) >= 2 then
+               [ List.hd sets.(set) ]
+             else sets.(set)
+           in
+           sets.(set) <- line :: kept
+         end);
+        ignore (Cache.read c addr)
+      done;
+      Cache.misses c = !ref_misses)
+
+let suite =
+  [
+    Alcotest.test_case "direct-mapped cache" `Quick test_cache_direct_mapped;
+    Alcotest.test_case "two-way LRU" `Quick test_cache_two_way_lru;
+    Alcotest.test_case "write no-allocate" `Quick test_cache_write_no_allocate;
+    Alcotest.test_case "probe is non-destructive" `Quick
+      test_cache_probe_no_disturb;
+    Alcotest.test_case "branch predictor 2-bit" `Quick test_branch_predictor;
+    Alcotest.test_case "store buffer stalls when full" `Quick
+      test_store_buffer;
+    Alcotest.test_case "store buffer serialises drains" `Quick
+      test_store_buffer_serialised;
+    Alcotest.test_case "fp scoreboard" `Quick test_fp_unit;
+    Alcotest.test_case "counters and PICs" `Quick test_counters_and_pics;
+    Alcotest.test_case "PIC 32-bit wrap" `Quick test_pic_wrap_32bit;
+    Alcotest.test_case "machine integration" `Quick test_machine_integration;
+    Alcotest.test_case "icache and mispredict accounting" `Quick
+      test_icache_and_mispredict_accounting;
+    Alcotest.test_case "config validation" `Quick test_config_validation;
+    QCheck_alcotest.to_alcotest prop_cache_miss_count_matches_reference;
+  ]

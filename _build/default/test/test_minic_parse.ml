@@ -1,0 +1,177 @@
+(* Unit tests of the MiniC front end: lexing details, precedence and
+   associativity, and error positions. *)
+
+open Pp_minic
+
+let check = Alcotest.check
+
+let tokens src = List.map fst (Lexer.tokenize src)
+
+let test_lexer_basics () =
+  check Alcotest.int "token count" 6
+    (List.length (tokens "int x = 42 ;"));
+  (match tokens "3.25 1e9" with
+  | [ Token.FLOAT_LIT _; _; _ ] ->
+      Alcotest.fail "1e9 must not lex as a float (no decimal point)"
+  | [ Token.FLOAT_LIT a; Token.INT_LIT 1; Token.IDENT "e9"; Token.EOF ] ->
+      Alcotest.(check (float 0.0)) "3.25" 3.25 a
+  | _ -> Alcotest.fail "unexpected token stream");
+  (match tokens "1.5e2 1.5e-2" with
+  | [ Token.FLOAT_LIT a; Token.FLOAT_LIT b; Token.EOF ] ->
+      Alcotest.(check (float 1e-9)) "exp" 150.0 a;
+      Alcotest.(check (float 1e-9)) "neg exp" 0.015 b
+  | _ -> Alcotest.fail "exponents");
+  (match tokens "== = != ! <= < && & (" with
+  | [
+      Token.EQ; Token.ASSIGN; Token.NE; Token.BANG; Token.LE; Token.LT;
+      Token.AMPAMP; Token.AMP; Token.LPAREN; Token.EOF;
+    ] ->
+      ()
+  | _ -> Alcotest.fail "operator lexing")
+
+let test_lexer_comments () =
+  check Alcotest.int "line comment" 2
+    (List.length (tokens "x // the rest is gone ; ; ;\n"));
+  check Alcotest.int "block comment" 3
+    (List.length (tokens "a /* b c d\n e */ f"));
+  match Lexer.tokenize "/* unterminated" with
+  | exception Errors.Error (_, _) -> ()
+  | _ -> Alcotest.fail "unterminated comment accepted"
+
+let test_lexer_positions () =
+  let toks = Lexer.tokenize "x\n  y" in
+  match toks with
+  | [ (_, p1); (_, p2); _ ] ->
+      check Alcotest.int "line 1" 1 p1.Ast.line;
+      check Alcotest.int "line 2" 2 p2.Ast.line;
+      check Alcotest.int "col 3" 3 p2.Ast.col
+  | _ -> Alcotest.fail "token stream"
+
+(* Evaluate a constant expression through the whole pipeline to observe the
+   parser's precedence decisions. *)
+let eval_expr expr =
+  let src = Printf.sprintf "void main() { print(%s); }" expr in
+  let prog = Compile.program ~name:"e" src in
+  let r = Pp_vm.Interp.run (Pp_vm.Interp.create prog) in
+  match r.Pp_vm.Interp.output with
+  | [ Pp_vm.Interp.Oint n ] -> n
+  | _ -> Alcotest.fail "expected one int"
+
+let test_precedence () =
+  check Alcotest.int "* over +" 7 (eval_expr "1 + 2 * 3");
+  check Alcotest.int "parens" 9 (eval_expr "(1 + 2) * 3");
+  check Alcotest.int "comparison over arith" 1 (eval_expr "1 + 1 < 3");
+  check Alcotest.int "&& over ||" 1 (eval_expr "1 || 0 && 0");
+  check Alcotest.int "unary minus binds tight" (-1) (eval_expr "-3 + 2");
+  check Alcotest.int "left assoc sub" (-4) (eval_expr "1 - 2 - 3");
+  check Alcotest.int "left assoc div" 2 (eval_expr "12 / 3 / 2");
+  check Alcotest.int "rem" 2 (eval_expr "17 % 5 % 3");
+  check Alcotest.int "! then compare" 1 (eval_expr "!0 == 1")
+
+let test_dangling_else () =
+  (* else binds to the nearest if. *)
+  let run x =
+    let src =
+      Printf.sprintf
+        {|
+void main() {
+  int r; r = 0;
+  if (%d > 0) { if (%d > 1) { r = 1; } else { r = 2; } }
+  print(r);
+}
+|}
+        x x
+    in
+    let prog = Compile.program ~name:"d" src in
+    match (Pp_vm.Interp.run (Pp_vm.Interp.create prog)).Pp_vm.Interp.output
+    with
+    | [ Pp_vm.Interp.Oint n ] -> n
+    | _ -> Alcotest.fail "output"
+  in
+  check Alcotest.int "outer false" 0 (run 0);
+  check Alcotest.int "inner false -> else" 2 (run 1);
+  check Alcotest.int "inner true" 1 (run 2)
+
+let test_else_if_chain () =
+  let src =
+    {|
+int classify(int v) {
+  if (v < 10) { return 0; }
+  else if (v < 20) { return 1; }
+  else if (v < 30) { return 2; }
+  else { return 3; }
+}
+void main() { print(classify(5)); print(classify(15)); print(classify(25));
+              print(classify(35)); }
+|}
+  in
+  let prog = Compile.program ~name:"c" src in
+  let outs =
+    List.filter_map
+      (function Pp_vm.Interp.Oint n -> Some n | _ -> None)
+      (Pp_vm.Interp.run (Pp_vm.Interp.create prog)).Pp_vm.Interp.output
+  in
+  check (Alcotest.list Alcotest.int) "chain" [ 0; 1; 2; 3 ] outs
+
+let test_error_positions () =
+  let expect_at line src =
+    match Compile.program ~name:"err" src with
+    | exception Errors.Error (pos, _) ->
+        check Alcotest.int "error line" line pos.Ast.line
+    | _ -> Alcotest.fail "expected an error"
+  in
+  expect_at 3 "void main() {\n  int x;\n  x = ;\n}";
+  expect_at 2 "void main() {\n  y = 1;\n}";
+  expect_at 1 "void main( {}"
+
+let test_syntax_errors () =
+  let bad src =
+    match Compile.program ~name:"bad" src with
+    | exception Errors.Error _ -> ()
+    | _ -> Alcotest.fail ("accepted: " ^ src)
+  in
+  bad "void main() { if 1 { } }";
+  bad "void main() { for (;;) }";
+  bad "void main() { 1 + 2; }";
+  (* expression statements must be calls *)
+  bad "void main() { int a[2][2]; }";
+  (* local 2-D *)
+  bad "int g[]; void main() { }";
+  bad "void v() { } void main() { int x; x = v(); }";
+  bad "void main() { print(&main); }";
+  (* &main has type funptr, main isn't int-returning *)
+  bad "float f; void main() { f = 1.0 + 2; }"
+
+let test_for_without_parts () =
+  let src =
+    {|
+void main() {
+  int i; i = 0;
+  for (; i < 3;) { i = i + 1; }
+  print(i);
+  int n; n = 0;
+  for (i = 0; ; i = i + 1) { if (i >= 2) { break; } n = n + 1; }
+  print(n);
+}
+|}
+  in
+  let prog = Compile.program ~name:"f" src in
+  let outs =
+    List.filter_map
+      (function Pp_vm.Interp.Oint n -> Some n | _ -> None)
+      (Pp_vm.Interp.run (Pp_vm.Interp.create prog)).Pp_vm.Interp.output
+  in
+  check (Alcotest.list Alcotest.int) "for variants" [ 3; 2 ] outs
+
+let suite =
+  [
+    Alcotest.test_case "lexer basics" `Quick test_lexer_basics;
+    Alcotest.test_case "comments" `Quick test_lexer_comments;
+    Alcotest.test_case "positions" `Quick test_lexer_positions;
+    Alcotest.test_case "precedence" `Quick test_precedence;
+    Alcotest.test_case "dangling else" `Quick test_dangling_else;
+    Alcotest.test_case "else-if chains" `Quick test_else_if_chain;
+    Alcotest.test_case "error positions" `Quick test_error_positions;
+    Alcotest.test_case "syntax errors" `Quick test_syntax_errors;
+    Alcotest.test_case "for header variants" `Quick test_for_without_parts;
+  ]

@@ -1,0 +1,408 @@
+(* End-to-end tests: MiniC source -> IR -> VM execution, checking program
+   semantics via the output stream and basic counter sanity. *)
+
+let compile src = Pp_minic.Compile.program ~name:"test" src
+
+let run ?(max_instructions = 50_000_000) src =
+  let prog = compile src in
+  let vm = Pp_vm.Interp.create ~max_instructions prog in
+  Pp_vm.Interp.run vm
+
+let ints result =
+  List.map
+    (function
+      | Pp_vm.Interp.Oint n -> n
+      | Pp_vm.Interp.Ofloat _ -> Alcotest.fail "unexpected float output")
+    result.Pp_vm.Interp.output
+
+let floats result =
+  List.map
+    (function
+      | Pp_vm.Interp.Ofloat x -> x
+      | Pp_vm.Interp.Oint _ -> Alcotest.fail "unexpected int output")
+    result.Pp_vm.Interp.output
+
+let check_ints name expected src =
+  Alcotest.(check (list int)) name expected (ints (run src))
+
+let test_arith () =
+  check_ints "arithmetic" [ 7; 1; 12; 2; 1; 0; 1; -5 ]
+    {|
+void main() {
+  print(3 + 4);
+  print(10 % 3);
+  print(3 * 4);
+  print(5 / 2);
+  print(3 < 4);
+  print(4 < 3);
+  print(3 <= 3);
+  print(-5);
+}
+|}
+
+let test_loops () =
+  check_ints "loops" [ 55; 10; 3; 25 ]
+    {|
+void main() {
+  int s; int i;
+  s = 0;
+  for (i = 1; i <= 10; i = i + 1) { s = s + i; }
+  print(s);
+  i = 0;
+  while (1) { i = i + 1; if (i >= 10) { break; } }
+  print(i);
+  // continue: count odd numbers below 7
+  s = 0;
+  for (i = 0; i < 7; i = i + 1) {
+    if (i % 2 == 0) { continue; }
+    s = s + 1;
+  }
+  print(s);
+  // nested
+  s = 0;
+  for (i = 0; i < 5; i = i + 1) {
+    int j;
+    for (j = 0; j < 5; j = j + 1) { s = s + 1; }
+  }
+  print(s);
+}
+|}
+
+let test_recursion () =
+  check_ints "fib" [ 55; 3628800 ]
+    {|
+int fib(int n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+int fact(int n) {
+  if (n <= 1) { return 1; }
+  return n * fact(n - 1);
+}
+void main() { print(fib(10)); print(fact(10)); }
+|}
+
+let test_arrays () =
+  check_ints "arrays" [ 285; 18; 4; 9 ]
+    {|
+int a[10];
+int m[3][3];
+void main() {
+  int i; int j;
+  for (i = 0; i < 10; i = i + 1) { a[i] = i * i; }
+  int s;
+  s = 0;
+  for (i = 0; i < 10; i = i + 1) { s = s + a[i]; }
+  print(s);
+  // 2-D
+  for (i = 0; i < 3; i = i + 1) {
+    for (j = 0; j < 3; j = j + 1) { m[i][j] = i + j; }
+  }
+  s = 0;
+  for (i = 0; i < 3; i = i + 1) {
+    for (j = 0; j < 3; j = j + 1) { s = s + m[i][j]; }
+  }
+  print(s);
+  print(m[2][2]);
+  // local array
+  int buf[5];
+  for (i = 0; i < 5; i = i + 1) { buf[i] = i * i; }
+  print(buf[3]);
+}
+|}
+
+let test_global_init () =
+  check_ints "global init" [ 42; 6; 0 ]
+    {|
+int g = 42;
+int tab[4] = {1, 2, 3};
+void main() {
+  print(g);
+  print(tab[0] + tab[1] + tab[2]);
+  print(tab[3]); // zero-filled
+}
+|}
+
+let test_floats () =
+  let r =
+    run
+      {|
+float acc;
+void main() {
+  float x; float y;
+  x = 1.5; y = 2.25;
+  print(x + y);
+  print(x * y);
+  print(float(7) / 2.0);
+  print(int(3.99));
+  acc = 0.0;
+  int i;
+  for (i = 0; i < 4; i = i + 1) { acc = acc + 0.25; }
+  print(acc);
+}
+|}
+  in
+  match r.Pp_vm.Interp.output with
+  | [ Ofloat a; Ofloat b; Ofloat c; Oint d; Ofloat e ] ->
+      Alcotest.(check (float 1e-9)) "add" 3.75 a;
+      Alcotest.(check (float 1e-9)) "mul" 3.375 b;
+      Alcotest.(check (float 1e-9)) "div" 3.5 c;
+      Alcotest.(check int) "trunc" 3 d;
+      Alcotest.(check (float 1e-9)) "acc" 1.0 e
+  | _ -> Alcotest.fail "unexpected output shape"
+
+let test_funptr () =
+  check_ints "function pointers" [ 7; 12; 7 ]
+    {|
+int add(int a, int b) { return a + b; }
+int mul(int a, int b) { return a * b; }
+funptr table_choice(int which) {
+  funptr f;
+  if (which == 0) { f = &add; } else { f = &mul; }
+  return f;
+}
+void main() {
+  funptr f;
+  f = &add;
+  print(f(3, 4));
+  f = &mul;
+  print(f(3, 4));
+  f = table_choice(0);
+  print(f(3, 4));
+}
+|}
+
+let test_short_circuit () =
+  check_ints "short circuit" [ 0; 1; 1; 0; 1; 2 ]
+    {|
+int calls;
+int bump() { calls = calls + 1; return 1; }
+void main() {
+  calls = 0;
+  print(0 && bump());   // rhs not evaluated
+  print(1 || bump());   // rhs not evaluated
+  print(calls == 0);
+  print(1 && 0);
+  print(0 || 1);
+  int x;
+  x = (1 && bump()) + (0 || bump());
+  print(calls);
+}
+|}
+
+let test_div_by_zero () =
+  match run {|
+void main() {
+  int z; z = 0;
+  print(1 / z);
+}
+|} with
+  | exception Pp_vm.Interp.Trap _ -> ()
+  | _ -> Alcotest.fail "expected a trap"
+
+let test_out_of_bounds () =
+  (* Access far outside any segment must fault, not corrupt. *)
+  match
+    run {|
+int a[4];
+void main() {
+  a[100000000] = 1;
+}
+|}
+  with
+  | exception Pp_vm.Interp.Trap _ -> ()
+  | _ -> Alcotest.fail "expected a trap"
+
+let test_budget () =
+  match
+    run ~max_instructions:1000
+      {|
+void main() {
+  int i;
+  for (i = 0; i < 1000000; i = i + 1) { }
+}
+|}
+  with
+  | exception Pp_vm.Interp.Trap msg ->
+      Alcotest.(check bool) "budget message" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "expected budget trap"
+
+let test_deterministic_counters () =
+  let src =
+    {|
+float v[2048];
+void main() {
+  int i;
+  for (i = 0; i < 2048; i = i + 1) { v[i] = float(i); }
+  float s; s = 0.0;
+  for (i = 0; i < 2048; i = i + 1) { s = s + v[i]; }
+  print(s);
+}
+|}
+  in
+  let r1 = run src and r2 = run src in
+  Alcotest.(check (list (pair string int)))
+    "identical counters"
+    (List.map (fun (e, v) -> (Pp_machine.Event.name e, v))
+       r1.Pp_vm.Interp.counters)
+    (List.map (fun (e, v) -> (Pp_machine.Event.name e, v))
+       r2.Pp_vm.Interp.counters)
+
+let test_counters_sane () =
+  let r =
+    run
+      {|
+int big[65536];
+void main() {
+  int i;
+  // Stride through 512 KB: guaranteed D-cache misses on a 16 KB cache.
+  for (i = 0; i < 65536; i = i + 1) { big[i] = i; }
+  int s; s = 0;
+  for (i = 0; i < 65536; i = i + 1) { s = s + big[i]; }
+  print(s);
+}
+|}
+  in
+  let total e = List.assoc e r.Pp_vm.Interp.counters in
+  Alcotest.(check bool) "instructions > 0" true
+    (total Pp_machine.Event.Instructions > 0);
+  Alcotest.(check bool) "cycles >= instructions" true
+    (total Pp_machine.Event.Cycles >= total Pp_machine.Event.Instructions);
+  (* 65536 words = 16384 lines of read misses expected (4 words/line). *)
+  let read_misses = total Pp_machine.Event.Dcache_read_misses in
+  Alcotest.(check bool) "read misses near 16384" true
+    (read_misses > 15_000 && read_misses < 20_000);
+  Alcotest.(check int) "combined = read + write misses"
+    (total Pp_machine.Event.Dcache_read_misses
+     + total Pp_machine.Event.Dcache_write_misses)
+    (total Pp_machine.Event.Dcache_misses)
+
+let test_stack_overflow () =
+  match
+    run
+      {|
+int down(int n) { return down(n + 1); }
+void main() { print(down(0)); }
+|}
+  with
+  | exception Pp_vm.Interp.Trap _ -> ()
+  | _ -> Alcotest.fail "expected stack overflow or budget trap"
+
+let test_mixed_args () =
+  (* Mixed int/float parameters exercise the split calling convention:
+     ints arrive in r0.. in declaration order among ints, floats in f0..
+     among floats. *)
+  let r =
+    run
+      {|
+float mix(int a, float x, int b, float y) {
+  return float(a * 1000 + b) + x * 10.0 + y;
+}
+void main() {
+  print(mix(1, 2.0, 3, 4.5));
+  print(mix(7, 0.25, 9, 0.5));
+}
+|}
+  in
+  match floats r with
+  | [ a; b ] ->
+      Alcotest.(check (float 1e-9)) "mix1" 1027.5 a;
+      Alcotest.(check (float 1e-9)) "mix2" 7012.0 b
+  | _ -> Alcotest.fail "unexpected output"
+
+let test_funptr_equality () =
+  check_ints "funptr equality" [ 1; 0; 1 ]
+    {|
+int f(int x) { return x; }
+int g(int x) { return x + 1; }
+void main() {
+  funptr a; funptr b;
+  a = &f; b = &f;
+  print(a == b);
+  b = &g;
+  print(a == b);
+  print(a != b);
+}
+|}
+
+let test_negative_modulo () =
+  (* OCaml-style truncated division: the remainder takes the dividend's
+     sign. *)
+  check_ints "negative modulo" [ -1; 1; -2; -2 ]
+    {|
+void main() {
+  print(-7 % 3);
+  print(7 % -3);
+  print(-7 / 3);
+  print(7 / -3);
+}
+|}
+
+let test_float_compare_branching () =
+  check_ints "float comparisons" [ 1; 0; 1; 1 ]
+    {|
+void main() {
+  float a; float b;
+  a = 1.5; b = 2.5;
+  print(a < b);
+  print(a >= b);
+  if (a != b) { print(1); } else { print(0); }
+  print(a == 1.5);
+}
+|}
+
+let test_deep_expression () =
+  (* Deeply nested expressions stress register allocation in lowering. *)
+  check_ints "deep nesting" [ 768 ]
+    {|
+void main() {
+  int x;
+  x = ((((((((((1 + 1) * (1 + 1)) + ((1 + 1) * (1 + 1))) * ((1 + 1) + (1 + 1)))
+       + (((1 + 1) * (1 + 1)) * ((1 + 1) + (1 + 1)))) * (1 + 1)) * (1 + 1))
+       * (1 + 1)) * (1 + 1)) * 2) / 2;
+  print(x);
+}
+|}
+
+let test_type_errors () =
+  let expect_error src =
+    match compile src with
+    | exception Pp_minic.Errors.Error _ -> ()
+    | _ -> Alcotest.fail "expected a compile error"
+  in
+  expect_error {| void main() { int x; x = 1.5; } |};
+  expect_error {| void main() { float y; y = 1; } |};
+  expect_error {| void main() { print(missing()); } |};
+  expect_error {| int f(int a) { return a; } void main() { print(f()); } |};
+  expect_error {| void main() { break; } |};
+  expect_error {| void main() { int x; int x; } |};
+  expect_error {| int a[4]; void main() { print(a[1][2]); } |};
+  expect_error {| void main() { return 3; } |};
+  expect_error {| float g(float x) { return x; } void main() { funptr f; f = &g; } |}
+
+let suite =
+  [
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "loops/break/continue" `Quick test_loops;
+    Alcotest.test_case "recursion" `Quick test_recursion;
+    Alcotest.test_case "arrays (1-D, 2-D, local)" `Quick test_arrays;
+    Alcotest.test_case "global initialisers" `Quick test_global_init;
+    Alcotest.test_case "floats and casts" `Quick test_floats;
+    Alcotest.test_case "function pointers" `Quick test_funptr;
+    Alcotest.test_case "short-circuit evaluation" `Quick test_short_circuit;
+    Alcotest.test_case "division by zero traps" `Quick test_div_by_zero;
+    Alcotest.test_case "out-of-bounds traps" `Quick test_out_of_bounds;
+    Alcotest.test_case "instruction budget traps" `Quick test_budget;
+    Alcotest.test_case "counters are deterministic" `Quick
+      test_deterministic_counters;
+    Alcotest.test_case "counters are sane" `Quick test_counters_sane;
+    Alcotest.test_case "stack overflow traps" `Quick test_stack_overflow;
+    Alcotest.test_case "type errors rejected" `Quick test_type_errors;
+    Alcotest.test_case "mixed int/float arguments" `Quick test_mixed_args;
+    Alcotest.test_case "funptr equality" `Quick test_funptr_equality;
+    Alcotest.test_case "negative division/modulo" `Quick test_negative_modulo;
+    Alcotest.test_case "float comparisons" `Quick
+      test_float_compare_branching;
+    Alcotest.test_case "deep expressions" `Quick test_deep_expression;
+  ]

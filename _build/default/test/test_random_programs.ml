@@ -1,0 +1,208 @@
+(* Differential property testing over randomly generated MiniC programs:
+   every instrumentation mode must preserve the observable output, and the
+   alternative counter strategies must agree on path frequencies.
+
+   The generator emits source text from a bounded grammar, so every program
+   type-checks and terminates by construction (loops are counted, recursion
+   is depth-bounded through an explicit argument). *)
+
+module Instrument = Pp_instrument.Instrument
+module Driver = Pp_instrument.Driver
+module Interp = Pp_vm.Interp
+
+type gen_state = {
+  rng : Random.State.t;
+  buf : Buffer.t;
+  mutable depth : int;
+  mutable uid : int;  (* locals are function-scoped: names must be unique *)
+}
+
+let emit st fmt = Printf.ksprintf (Buffer.add_string st.buf) fmt
+
+let pick st xs = List.nth xs (Random.State.int st.rng (List.length xs))
+
+let gen_expr st ~vars =
+  (* Small arithmetic over locals, constants, array cells and helper
+     calls. *)
+  let rec go fuel =
+    if fuel = 0 then
+      pick st
+        [
+          (fun () -> emit st "%d" (Random.State.int st.rng 100));
+          (fun () -> emit st "%s" (pick st vars));
+        ]
+        ()
+    else
+      pick st
+        [
+          (fun () -> emit st "%d" (Random.State.int st.rng 100));
+          (fun () -> emit st "%s" (pick st vars));
+          (fun () ->
+            emit st "(";
+            go (fuel - 1);
+            emit st " %s " (pick st [ "+"; "-"; "*" ]);
+            go (fuel - 1);
+            emit st ")");
+          (fun () ->
+            (* OCaml-style rem is negative for negative operands: fold
+               into range twice so any generated value indexes safely. *)
+            emit st "arr[((";
+            go (fuel - 1);
+            emit st ") %% 64 + 64) %% 64]");
+          (fun () ->
+            emit st "helper(";
+            go (fuel - 1);
+            emit st ", %d)" (Random.State.int st.rng 6));
+        ]
+        ()
+  in
+  go 2
+
+let gen_cond st ~vars =
+  emit st "%s %s " (pick st vars) (pick st [ "<"; ">"; "=="; "!=" ]);
+  emit st "%d" (Random.State.int st.rng 50)
+
+(* [vars] are readable; [mut] are assignable.  Loop counters are readable
+   only — otherwise a body could reset its own counter and never finish. *)
+let rec gen_stmt st ~vars ~mut =
+  if st.depth > 3 then gen_assign st ~vars ~mut
+  else
+    pick st
+      [
+        (fun () -> gen_assign st ~vars ~mut);
+        (fun () -> gen_assign st ~vars ~mut);
+        (fun () ->
+          (* bounded for loop over a dedicated, uniquely named counter *)
+          st.depth <- st.depth + 1;
+          st.uid <- st.uid + 1;
+          let i = Printf.sprintf "i%d" st.uid in
+          emit st "int %s;\nfor (%s = 0; %s < %d; %s = %s + 1) {\n" i i i
+            (1 + Random.State.int st.rng 4)
+            i i;
+          gen_block st ~vars:(i :: vars) ~mut;
+          emit st "}\n";
+          st.depth <- st.depth - 1);
+        (fun () ->
+          st.depth <- st.depth + 1;
+          emit st "if (";
+          gen_cond st ~vars;
+          emit st ") {\n";
+          gen_block st ~vars ~mut;
+          emit st "}";
+          if Random.State.bool st.rng then begin
+            emit st " else {\n";
+            gen_block st ~vars ~mut;
+            emit st "}"
+          end;
+          emit st "\n";
+          st.depth <- st.depth - 1);
+      ]
+      ()
+
+and gen_assign st ~vars ~mut =
+  let lhs =
+    pick st
+      (List.map (fun v -> `Var v) mut
+      @ [ `Cell (Random.State.int st.rng 64) ])
+  in
+  (match lhs with
+  | `Var v -> emit st "%s = " v
+  | `Cell i -> emit st "arr[%d] = " i);
+  gen_expr st ~vars;
+  emit st ";\n"
+
+and gen_block st ~vars ~mut =
+  let n = 1 + Random.State.int st.rng 3 in
+  for _ = 1 to n do
+    gen_stmt st ~vars ~mut
+  done
+
+let gen_program seed =
+  let st =
+    { rng = Random.State.make [| seed; 77 |]; buf = Buffer.create 1024;
+      depth = 0; uid = 0 }
+  in
+  emit st "int arr[64];\n";
+  emit st
+    "int helper(int a, int d) {\n\
+    \  if (d <= 0) { return a %% 97; }\n\
+    \  return helper(a + d, d - 1) %% 1000;\n\
+     }\n";
+  emit st "void work(int x, int y) {\n";
+  gen_block st ~vars:[ "x"; "y" ] ~mut:[ "x"; "y" ];
+  emit st "}\n";
+  emit st "void main() {\n  int k;\n";
+  emit st "  for (k = 0; k < %d; k = k + 1) { work(k, %d - k); }\n"
+    (2 + Random.State.int st.rng 2)
+    (Random.State.int st.rng 20);
+  emit st "  int j;\n  for (j = 0; j < 64; j = j + 1) { print(arr[j]); }\n";
+  emit st "}\n";
+  Buffer.contents st.buf
+
+let outputs (r : Interp.result) = r.Interp.output
+
+let prop_modes_transparent =
+  QCheck.Test.make ~name:"random programs: all modes preserve output"
+    ~count:15
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let src = gen_program seed in
+      match Pp_minic.Compile.program ~name:"gen" src with
+      | exception Pp_minic.Errors.Error (pos, msg) ->
+          QCheck.Test.fail_reportf "generator produced invalid MiniC:@.%s@.%d:%d %s"
+            src pos.Pp_minic.Ast.line pos.Pp_minic.Ast.col msg
+      | prog ->
+          let base =
+            Driver.run_baseline ~max_instructions:100_000_000 prog
+          in
+          List.for_all
+            (fun mode ->
+              let s =
+                Driver.prepare ~max_instructions:400_000_000 ~mode prog
+              in
+              outputs (Driver.run s) = outputs base)
+            [
+              Instrument.Edge_freq;
+              Instrument.Flow_freq;
+              Instrument.Flow_hw;
+              Instrument.Context_hw;
+              Instrument.Context_flow;
+            ])
+
+let prop_strategies_agree =
+  QCheck.Test.make
+    ~name:"random programs: hash/spill/chord strategies agree" ~count:10
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let src = gen_program seed in
+      let prog = Pp_minic.Compile.program ~name:"gen" src in
+      let freqs options =
+        let s =
+          Driver.prepare ?options ~max_instructions:400_000_000
+            ~mode:Instrument.Flow_freq prog
+        in
+        ignore (Driver.run s);
+        List.concat_map
+          (fun (p : Pp_core.Profile.proc_profile) ->
+            List.map
+              (fun (sum, m) ->
+                (p.Pp_core.Profile.proc, sum, m.Pp_core.Profile.freq))
+              p.Pp_core.Profile.paths)
+          (Driver.path_profile s).Pp_core.Profile.procs
+        |> List.sort compare
+      in
+      let reference = freqs None in
+      List.for_all
+        (fun options -> freqs (Some options) = reference)
+        [
+          { Instrument.default_options with Instrument.array_threshold = 0 };
+          { Instrument.default_options with Instrument.spill_threshold = 0 };
+          { Instrument.default_options with
+            Instrument.optimize_placement = true };
+        ])
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_modes_transparent;
+    QCheck_alcotest.to_alcotest prop_strategies_agree;
+  ]

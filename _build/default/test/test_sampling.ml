@@ -1,0 +1,79 @@
+(* The VM's stack sampler (the 7.2 comparison profiler). *)
+
+module Interp = Pp_vm.Interp
+
+let src =
+  {|
+int sink;
+void inner(int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) { sink = sink + i; }
+}
+void outer() { inner(2000); }
+void main() {
+  int r;
+  for (r = 0; r < 20; r = r + 1) { outer(); inner(500); }
+  print(sink);
+}
+|}
+
+let run ~interval =
+  let prog = Pp_minic.Compile.program ~name:"sampled" src in
+  let vm = Interp.create prog in
+  (match interval with
+  | Some i -> Interp.enable_sampling vm ~interval:i
+  | None -> ());
+  let r = Interp.run vm in
+  (vm, r)
+
+let test_sample_counts () =
+  let vm, r = run ~interval:(Some 1000) in
+  let samples = Interp.samples vm in
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 samples in
+  let expected = r.Interp.cycles / 1000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "total samples %d ~ cycles/interval %d" total expected)
+    true
+    (abs (total - expected) <= 1)
+
+let test_sampling_transparent () =
+  (* Sampling must not perturb execution at all (it is outside the machine
+     model, like an external interrupt-based profiler). *)
+  let _, r1 = run ~interval:(Some 500) in
+  let _, r2 = run ~interval:None in
+  Alcotest.(check int) "same cycles" r2.Interp.cycles r1.Interp.cycles;
+  Alcotest.(check bool) "same output" true
+    (r1.Interp.output = r2.Interp.output)
+
+let test_sampling_shape () =
+  let vm, _ = run ~interval:(Some 200) in
+  let samples = Interp.samples vm in
+  (* Stacks are rooted at main. *)
+  List.iter
+    (fun (stack, _) ->
+      match stack with
+      | "main" :: _ -> ()
+      | s ->
+          Alcotest.failf "stack not rooted at main: %s"
+            (String.concat "." s))
+    samples;
+  (* inner-under-outer dominates inner-under-main 4:1 in work; sampling
+     should agree within a factor of two. *)
+  let hits ctx =
+    Option.value ~default:0 (List.assoc_opt ctx samples)
+  in
+  let via_outer = hits [ "main"; "outer"; "inner" ] in
+  let direct = hits [ "main"; "inner" ] in
+  Alcotest.(check bool)
+    (Printf.sprintf "outer-inner (%d) >> direct inner (%d)" via_outer direct)
+    true
+    (via_outer > 2 * direct)
+
+let suite =
+  [
+    Alcotest.test_case "sample counts track cycles" `Quick test_sample_counts;
+    Alcotest.test_case "sampling does not perturb" `Quick
+      test_sampling_transparent;
+    Alcotest.test_case "sampled stacks are sensible" `Quick
+      test_sampling_shape;
+  ]

@@ -1,0 +1,128 @@
+(* Workload sanity: all eighteen compile, run deterministically, and show
+   the qualitative signatures the benchmarks rely on (go/gcc execute many
+   paths, fpppp almost none; vortex builds the deepest CCT; mgrid's strides
+   conflict in the direct-mapped cache). *)
+
+module W = Pp_workloads.Workload
+module Registry = Pp_workloads.Registry
+module Interp = Pp_vm.Interp
+module Event = Pp_machine.Event
+
+let budget = 100_000_000
+
+let run_workload (w : W.t) =
+  let prog = W.compile w in
+  Interp.run (Interp.create ~max_instructions:budget prog)
+
+let test_all_run () =
+  Alcotest.(check int) "eighteen workloads" 18 (List.length Registry.all);
+  List.iter
+    (fun (w : W.t) ->
+      match run_workload w with
+      | r ->
+          if r.Interp.instructions < 500_000 then
+            Alcotest.failf "%s too small: %d instructions" w.W.name
+              r.Interp.instructions;
+          if r.Interp.output = [] then
+            Alcotest.failf "%s produced no output" w.W.name
+      | exception Interp.Trap m -> Alcotest.failf "%s trapped: %s" w.W.name m)
+    Registry.all
+
+let test_deterministic () =
+  List.iter
+    (fun name ->
+      let w = Option.get (Registry.find name) in
+      let r1 = run_workload w and r2 = run_workload w in
+      Alcotest.(check int)
+        (name ^ " cycles deterministic")
+        r1.Interp.cycles r2.Interp.cycles;
+      Alcotest.(check bool)
+        (name ^ " output deterministic")
+        true
+        (r1.Interp.output = r2.Interp.output))
+    [ "go_like"; "tomcatv_like"; "vortex_like" ]
+
+let executed_paths name =
+  let w = Option.get (Registry.find name) in
+  let prog = W.compile w in
+  let s =
+    Pp_instrument.Driver.prepare ~max_instructions:(2 * budget)
+      ~mode:Pp_instrument.Instrument.Flow_freq prog
+  in
+  ignore (Pp_instrument.Driver.run s);
+  let profile = Pp_instrument.Driver.path_profile s in
+  List.fold_left
+    (fun acc (p : Pp_core.Profile.proc_profile) ->
+      acc + List.length p.Pp_core.Profile.paths)
+    0 profile.Pp_core.Profile.procs
+
+let test_path_count_signatures () =
+  let go = executed_paths "go_like" in
+  let fpppp = executed_paths "fpppp_like" in
+  let compress = executed_paths "compress_like" in
+  (* go executes roughly an order of magnitude more paths. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "go (%d) >> fpppp (%d)" go fpppp)
+    true
+    (go > 5 * fpppp);
+  Alcotest.(check bool)
+    (Printf.sprintf "go (%d) > compress (%d)" go compress)
+    true (go > compress)
+
+let test_mgrid_conflicts () =
+  (* mgrid's power-of-two strides must show a much higher miss *ratio* than
+     tomcatv's unit-stride sweeps. *)
+  let ratio name =
+    let w = Option.get (Registry.find name) in
+    let r = run_workload w in
+    let miss = List.assoc Event.Dcache_misses r.Interp.counters in
+    let refs =
+      List.assoc Event.Dcache_reads r.Interp.counters
+      + List.assoc Event.Dcache_writes r.Interp.counters
+    in
+    float_of_int miss /. float_of_int (max refs 1)
+  in
+  let m = ratio "mgrid_like" and t = ratio "tomcatv_like" in
+  Alcotest.(check bool)
+    (Printf.sprintf "mgrid ratio %.3f > tomcatv %.3f" m t)
+    true (m > t)
+
+let test_fpppp_stalls () =
+  (* fpppp is the FP-stall outlier. *)
+  let stalls name =
+    let w = Option.get (Registry.find name) in
+    let r = run_workload w in
+    float_of_int (List.assoc Event.Fp_stalls r.Interp.counters)
+    /. float_of_int r.Interp.instructions
+  in
+  Alcotest.(check bool) "fpppp stalls heavily" true
+    (stalls "fpppp_like" > stalls "compress_like")
+
+let test_vortex_cct () =
+  let cct_nodes name =
+    let w = Option.get (Registry.find name) in
+    let prog = W.compile w in
+    let s =
+      Pp_instrument.Driver.prepare ~max_instructions:(2 * budget)
+        ~mode:Pp_instrument.Instrument.Context_hw prog
+    in
+    ignore (Pp_instrument.Driver.run s);
+    Pp_core.Cct.num_nodes (Pp_instrument.Driver.cct s)
+  in
+  let vortex = cct_nodes "vortex_like" in
+  let tomcatv = cct_nodes "tomcatv_like" in
+  Alcotest.(check bool)
+    (Printf.sprintf "vortex CCT (%d) > tomcatv CCT (%d)" vortex tomcatv)
+    true
+    (vortex > tomcatv)
+
+let suite =
+  [
+    Alcotest.test_case "all compile and run" `Slow test_all_run;
+    Alcotest.test_case "deterministic" `Slow test_deterministic;
+    Alcotest.test_case "path-count signatures" `Slow
+      test_path_count_signatures;
+    Alcotest.test_case "mgrid conflict misses" `Slow test_mgrid_conflicts;
+    Alcotest.test_case "fpppp FP stalls" `Slow test_fpppp_stalls;
+    Alcotest.test_case "vortex largest CCT" `Slow test_vortex_cct;
+  ]
