@@ -40,12 +40,12 @@ let load ~file ~workload =
         with
         | Pp_ir.Ir_text.Parse_error (line, msg) ->
             Error (Printf.sprintf "%s:%d: %s" path line msg)
-        | Pp_ir.Validate.Invalid msg -> Error msg)
+        | Pp_ir.Validate.Invalid d -> Error (Pp_ir.Diag.to_string d))
       else (
         try Ok (Pp_minic.Compile.program ~name:path src) with
         | Pp_minic.Errors.Error (pos, msg) ->
             Error (Pp_minic.Errors.to_string ~file:path pos msg)
-        | Pp_ir.Validate.Invalid msg -> Error msg)
+        | Pp_ir.Validate.Invalid d -> Error (Pp_ir.Diag.to_string d))
   | None, Some name -> (
       match Registry.find name with
       | Some w -> Ok (Pp_workloads.Workload.compile w)
@@ -381,6 +381,122 @@ let disasm_cmd =
   Cmd.v (Cmd.info "disasm" ~doc)
     Term.(const action $ file $ workload_opt $ proc $ mode)
 
+(* --- pp check --- *)
+
+let check_cmd =
+  let doc =
+    "Statically verify that instrumentation is correct: path sums, commit \
+     coverage, PIC discipline and flow conservation, per mode."
+  in
+  let action file workload modes lint_flag optimize caller_saves
+      backedge_reads =
+    (* For lint we parse .ppir without validating first, so the
+       unreachable-code check can fire before Validate rejects it. *)
+    let lint_diags prog = Pp_analysis.Lint.run prog in
+    let raw_lint =
+      if not lint_flag then []
+      else
+        match (file, workload) with
+        | Some path, None when Filename.check_suffix path ".ppir" -> (
+            match Pp_ir.Ir_text.parse (read_file path) with
+            | prog -> lint_diags prog
+            | exception Pp_ir.Ir_text.Parse_error (line, msg) ->
+                exit_err (Printf.sprintf "%s:%d: %s" path line msg))
+        | _ -> []
+    in
+    match load ~file ~workload with
+    | Error msg -> exit_err msg
+    | Ok prog ->
+        let warnings =
+          if not lint_flag then []
+          else if raw_lint <> [] then raw_lint
+          else lint_diags prog
+        in
+        List.iter
+          (fun d -> print_endline (Pp_ir.Diag.to_string d))
+          warnings;
+        let modes =
+          match modes with
+          | [] ->
+              [
+                Instrument.Edge_freq;
+                Instrument.Flow_freq;
+                Instrument.Flow_hw;
+                Instrument.Context_hw;
+                Instrument.Context_flow;
+              ]
+          | ms -> ms
+        in
+        let options =
+          {
+            Instrument.default_options with
+            Instrument.optimize_placement = optimize;
+            caller_saves;
+            backedge_metric_reads = backedge_reads;
+          }
+        in
+        let failures = ref 0 in
+        List.iter
+          (fun mode ->
+            match Instrument.run ~options ~mode prog with
+            | exception Ball_larus.Unsupported msg ->
+                incr failures;
+                Printf.printf "%-13s cannot instrument: %s\n"
+                  (Instrument.mode_name mode)
+                  msg
+            | instrumented, manifest ->
+                let diags =
+                  Pp_analysis.Verifier.verify_program ~original:prog ~manifest
+                    instrumented
+                in
+                if diags = [] then
+                  Printf.printf "%-13s ok (%d procedures)\n"
+                    (Instrument.mode_name mode)
+                    (Array.length prog.Pp_ir.Program.procs)
+                else begin
+                  incr failures;
+                  Printf.printf "%-13s FAILED (%d errors)\n"
+                    (Instrument.mode_name mode)
+                    (List.length diags);
+                  List.iter
+                    (fun d -> print_endline ("  " ^ Pp_ir.Diag.to_string d))
+                    diags
+                end)
+          modes;
+        if !failures > 0 then exit 1
+  in
+  let modes =
+    Arg.(value & opt_all mode_conv []
+         & info [ "mode"; "m" ] ~docv:"MODE"
+             ~doc:"Mode to verify (repeatable; default: all five).")
+  in
+  let lint_flag =
+    Arg.(value & flag
+         & info [ "lint" ]
+             ~doc:"Also run the dataflow lint (unreachable code, \
+                   uninitialised reads, dead stores, unused functions) on \
+                   the uninstrumented program.")
+  in
+  let optimize =
+    Arg.(value & flag
+         & info [ "optimize-placement" ]
+             ~doc:"Verify the optimized (spanning-tree chord) placement.")
+  in
+  let caller_saves =
+    Arg.(value & flag
+         & info [ "caller-saves" ]
+             ~doc:"Verify the caller-saves PIC discipline (ablation A3).")
+  in
+  let backedge_reads =
+    Arg.(value & flag
+         & info [ "backedge-metric-reads" ]
+             ~doc:"Verify the backedge metric reads (ablation A4).")
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(
+      const action $ file $ workload_opt $ modes $ lint_flag $ optimize
+      $ caller_saves $ backedge_reads)
+
 (* --- pp workloads --- *)
 
 let workloads_cmd =
@@ -403,4 +519,4 @@ let () =
   let info = Cmd.info "pp" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
                     [ run_cmd; profile_cmd; paths_cmd; disasm_cmd;
-                      workloads_cmd ]))
+                      check_cmd; workloads_cmd ]))

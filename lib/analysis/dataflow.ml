@@ -1,0 +1,248 @@
+module Digraph = Pp_graph.Digraph
+module Cfg = Pp_ir.Cfg
+
+type direction = Forward | Backward
+
+module type LATTICE = sig
+  type t
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (L : LATTICE) = struct
+  type result = {
+    cfg : Cfg.t;
+    direction : direction;
+    inputs : L.t option array;  (* per vertex, on the init side *)
+    outputs : L.t option array;
+    steps : int;
+  }
+
+  let solve ?(edge_transfer = fun _ v -> v) ~direction (cfg : Cfg.t) ~init
+      ~transfer =
+    let g = cfg.Cfg.graph in
+    let n = Digraph.num_vertices g in
+    let inputs = Array.make n None in
+    let outputs = Array.make n None in
+    let steps = ref 0 in
+    (* Orient the graph: [sources v] are the vertices feeding v in the
+       direction of propagation, [feed_edges v] the connecting edges. *)
+    let start, feed_edges =
+      match direction with
+      | Forward -> (cfg.Cfg.entry, fun v -> Digraph.in_edges g v)
+      | Backward -> (cfg.Cfg.exit, fun v -> Digraph.out_edges g v)
+    in
+    let edge_source (e : Digraph.edge) =
+      match direction with Forward -> e.src | Backward -> e.dst
+    in
+    let downstream v =
+      match direction with
+      | Forward -> Digraph.succs g v
+      | Backward -> Digraph.preds g v
+    in
+    let apply v value =
+      match Cfg.label_of_vertex cfg v with
+      | None -> value  (* ENTRY/EXIT pass through *)
+      | Some label ->
+          incr steps;
+          transfer label value
+    in
+    inputs.(start) <- Some init;
+    outputs.(start) <- Some (apply start init);
+    let queue = Queue.create () in
+    let queued = Array.make n false in
+    let enqueue v =
+      if not queued.(v) then begin
+        queued.(v) <- true;
+        Queue.add v queue
+      end
+    in
+    List.iter enqueue (downstream start);
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      queued.(v) <- false;
+      let input =
+        List.fold_left
+          (fun acc e ->
+            match outputs.(edge_source e) with
+            | None -> acc
+            | Some value -> (
+                let value = edge_transfer e value in
+                match acc with
+                | None -> Some value
+                | Some a -> Some (L.join a value)))
+          None (feed_edges v)
+      in
+      match input with
+      | None -> ()
+      | Some input ->
+          let changed =
+            match inputs.(v) with
+            | Some old when L.equal old input -> false
+            | _ ->
+                inputs.(v) <- Some input;
+                true
+          in
+          if changed || outputs.(v) = None then begin
+            let output = apply v input in
+            let out_changed =
+              match outputs.(v) with
+              | Some old when L.equal old output -> false
+              | _ ->
+                  outputs.(v) <- Some output;
+                  true
+            in
+            if out_changed then List.iter enqueue (downstream v)
+          end
+    done;
+    { cfg; direction; inputs; outputs; steps = !steps }
+
+  let vertex_of r label = Cfg.vertex_of_label r.cfg label
+
+  (* "before"/"after" are in program order regardless of direction. *)
+  let before r label =
+    match r.direction with
+    | Forward -> r.inputs.(vertex_of r label)
+    | Backward -> r.outputs.(vertex_of r label)
+
+  let after r label =
+    match r.direction with
+    | Forward -> r.outputs.(vertex_of r label)
+    | Backward -> r.inputs.(vertex_of r label)
+
+  let final r =
+    match r.direction with
+    | Forward -> r.inputs.(r.cfg.Cfg.exit)
+    | Backward -> r.inputs.(r.cfg.Cfg.entry)
+
+  let steps r = r.steps
+end
+
+module Bitset = struct
+  type t = { size : int; bits : Bytes.t }
+
+  let nbytes size = (size + 7) / 8
+  let create size = { size; bits = Bytes.make (nbytes size) '\000' }
+
+  let full size =
+    let t = { size; bits = Bytes.make (nbytes size) '\255' } in
+    (* Clear the slack bits so equal sets are byte-equal. *)
+    let slack = (8 - (size land 7)) land 7 in
+    if slack > 0 && size > 0 then begin
+      let last = nbytes size - 1 in
+      Bytes.set t.bits last
+        (Char.chr (Char.code (Bytes.get t.bits last) lsr slack))
+    end;
+    t
+
+  let copy t = { t with bits = Bytes.copy t.bits }
+  let size t = t.size
+
+  let check t i =
+    if i < 0 || i >= t.size then invalid_arg "Bitset: index out of range"
+
+  let add t i =
+    check t i;
+    Bytes.set t.bits (i lsr 3)
+      (Char.chr (Char.code (Bytes.get t.bits (i lsr 3)) lor (1 lsl (i land 7))))
+
+  let remove t i =
+    check t i;
+    Bytes.set t.bits (i lsr 3)
+      (Char.chr
+         (Char.code (Bytes.get t.bits (i lsr 3)) land lnot (1 lsl (i land 7))))
+
+  let mem t i =
+    check t i;
+    Char.code (Bytes.get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+  let map2 f a b =
+    if a.size <> b.size then invalid_arg "Bitset: size mismatch";
+    let r = create a.size in
+    for i = 0 to Bytes.length a.bits - 1 do
+      Bytes.set r.bits i
+        (Char.chr
+           (f (Char.code (Bytes.get a.bits i)) (Char.code (Bytes.get b.bits i))
+           land 0xff))
+    done;
+    r
+
+  let union = map2 (fun x y -> x lor y)
+  let inter = map2 (fun x y -> x land y)
+  let diff = map2 (fun x y -> x land lnot y)
+  let equal a b = a.size = b.size && Bytes.equal a.bits b.bits
+
+  let is_empty t =
+    let rec go i = i >= Bytes.length t.bits || (Bytes.get t.bits i = '\000' && go (i + 1)) in
+    go 0
+
+  let iter f t =
+    for i = 0 to t.size - 1 do
+      if mem t i then f i
+    done
+
+  let elements t =
+    let acc = ref [] in
+    iter (fun i -> acc := i :: !acc) t;
+    List.rev !acc
+
+  let pp ppf t =
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         Format.pp_print_int)
+      (elements t)
+end
+
+module Gen_kill = struct
+  type confluence = Union | Intersection
+
+  module L = struct
+    type t = Bitset.t
+
+    let equal = Bitset.equal
+    let pp = Bitset.pp
+  end
+
+  module Engine_union = Make (struct
+    include L
+
+    let join = Bitset.union
+  end)
+
+  module Engine_inter = Make (struct
+    include L
+
+    let join = Bitset.inter
+  end)
+
+  type result =
+    | Runion of Engine_union.result
+    | Rinter of Engine_inter.result
+
+  let solve ~direction ~confluence cfg ~universe:_ ~gen ~kill ~init =
+    let transfer label input =
+      Bitset.union (gen label) (Bitset.diff input (kill label))
+    in
+    match confluence with
+    | Union ->
+        Runion (Engine_union.solve ~direction cfg ~init ~transfer)
+    | Intersection ->
+        Rinter (Engine_inter.solve ~direction cfg ~init ~transfer)
+
+  let before r label =
+    match r with
+    | Runion r -> Engine_union.before r label
+    | Rinter r -> Engine_inter.before r label
+
+  let after r label =
+    match r with
+    | Runion r -> Engine_union.after r label
+    | Rinter r -> Engine_inter.after r label
+
+  let final = function
+    | Runion r -> Engine_union.final r
+    | Rinter r -> Engine_inter.final r
+end

@@ -1,0 +1,113 @@
+(** A generic worklist dataflow engine over {!Pp_ir.Cfg}.
+
+    The engine propagates lattice values over the CFG's vertices (block
+    labels plus the synthetic ENTRY and EXIT), joining at control-flow
+    merges and iterating to a fixpoint.  Two interfaces are provided:
+
+    - {!Make}, parameterised by an arbitrary join-semilattice and a
+      per-block transfer function (plus an optional per-edge transfer —
+      the instrumentation verifier uses this to charge Ball–Larus edge
+      values to edges rather than blocks);
+    - {!Gen_kill}, the classic bitvector specialisation (liveness,
+      reaching definitions, …) expressed with per-block gen/kill sets and
+      a union or intersection confluence operator.
+
+    Unreachable vertices stay at bottom, represented as [None] in query
+    results — no bottom element is required of the lattice. *)
+
+module Digraph = Pp_graph.Digraph
+
+type direction = Forward | Backward
+
+module type LATTICE = sig
+  type t
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (L : LATTICE) : sig
+  type result
+
+  (** [solve ~direction cfg ~init ~transfer] runs to fixpoint.
+
+      Forward: the value flowing into the entry side is [init]; a block's
+      input is the join over its predecessors' outputs (each passed
+      through [edge_transfer] for the connecting edge); its output is
+      [transfer label input].  Backward: symmetric, starting from EXIT
+      with [init], joining over successors.
+
+      [transfer] is only applied to real blocks; ENTRY and EXIT pass
+      values through unchanged. *)
+  val solve :
+    ?edge_transfer:(Digraph.edge -> L.t -> L.t) ->
+    direction:direction ->
+    Pp_ir.Cfg.t ->
+    init:L.t ->
+    transfer:(Pp_ir.Block.label -> L.t -> L.t) ->
+    result
+
+  (** Value at the program point before the block (forward: its input;
+      backward: its output).  [None] when the block is unreachable. *)
+  val before : result -> Pp_ir.Block.label -> L.t option
+
+  (** Value at the program point after the block. *)
+  val after : result -> Pp_ir.Block.label -> L.t option
+
+  (** The value that reached the far end (EXIT for forward, ENTRY for
+      backward). *)
+  val final : result -> L.t option
+
+  (** Number of transfer-function applications performed (a measure of
+      worklist iteration; tests use it to bound convergence). *)
+  val steps : result -> int
+end
+
+(** Dense bitvector sets over a universe [0 .. size-1]. *)
+module Bitset : sig
+  type t
+
+  val create : int -> t  (** all bits clear *)
+
+  val full : int -> t
+  val copy : t -> t
+  val size : t -> int
+  val add : t -> int -> unit
+  val remove : t -> int -> unit
+  val mem : t -> int -> bool
+  val union : t -> t -> t
+  val inter : t -> t -> t
+  val diff : t -> t -> t
+  val equal : t -> t -> bool
+  val is_empty : t -> bool
+  val elements : t -> int list
+  val iter : (int -> unit) -> t -> unit
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Gen/kill bitvector problems: [out = gen ∪ (in \ kill)]. *)
+module Gen_kill : sig
+  type confluence = Union | Intersection
+
+  type result
+
+  (** [solve ~direction ~confluence cfg ~universe ~gen ~kill ~init] — [gen]
+      and [kill] give each block's sets over [0 .. universe-1]; [init]
+      is the boundary value (at ENTRY for forward, EXIT for backward).
+      With [Intersection] confluence, unreachable predecessors are ignored
+      rather than treated as the full set. *)
+  val solve :
+    direction:direction ->
+    confluence:confluence ->
+    Pp_ir.Cfg.t ->
+    universe:int ->
+    gen:(Pp_ir.Block.label -> Bitset.t) ->
+    kill:(Pp_ir.Block.label -> Bitset.t) ->
+    init:Bitset.t ->
+    result
+
+  val before : result -> Pp_ir.Block.label -> Bitset.t option
+  val after : result -> Pp_ir.Block.label -> Bitset.t option
+  val final : result -> Bitset.t option
+end

@@ -1,0 +1,74 @@
+module Cfg = Pp_ir.Cfg
+module Block = Pp_ir.Block
+module I = Pp_ir.Instr
+module Proc = Pp_ir.Proc
+module Program = Pp_ir.Program
+module Diag = Pp_ir.Diag
+module Dfs = Pp_graph.Dfs
+
+(* Blocks with no path from entry.  The MiniC frontend drops statements
+   after a [return] during lowering and {!Pp_ir.Validate} rejects programs
+   containing such blocks, so this fires on raw [.ppir] input linted before
+   validation. *)
+let unreachable_blocks (cfg : Cfg.t) =
+  let dfs = Dfs.run cfg.Cfg.graph ~root:cfg.Cfg.entry in
+  Array.to_list cfg.Cfg.proc.Proc.blocks
+  |> List.filter_map (fun (b : Block.t) ->
+         if Dfs.reachable dfs b.Block.label then None
+         else
+           Some
+             (Diag.warning
+                (Diag.block_loc cfg.Cfg.proc.Proc.name b.Block.label)
+                "unreachable code"))
+
+(* Procedures never called, directly or through a function pointer, from
+   anything reachable from [main].  Taking a procedure's address with
+   [Iconst_sym] counts as a (conservative) call. *)
+let unused_procs (prog : Program.t) =
+  let index = Hashtbl.create 16 in
+  Array.iteri
+    (fun i (p : Proc.t) -> Hashtbl.replace index p.Proc.name i)
+    prog.Program.procs;
+  let reached = Array.make (Array.length prog.Program.procs) false in
+  let rec visit name =
+    match Hashtbl.find_opt index name with
+    | None -> ()
+    | Some i ->
+        if not reached.(i) then begin
+          reached.(i) <- true;
+          let p = prog.Program.procs.(i) in
+          Array.iter
+            (fun (b : Block.t) ->
+              List.iter
+                (fun instr ->
+                  match instr with
+                  | I.Call { callee; _ } -> visit callee
+                  | I.Iconst_sym (_, sym) when Hashtbl.mem index sym ->
+                      visit sym
+                  | _ -> ())
+                b.Block.instrs)
+            p.Proc.blocks
+        end
+  in
+  visit prog.Program.main;
+  Array.to_list prog.Program.procs
+  |> List.filter_map (fun (p : Proc.t) ->
+         match Hashtbl.find_opt index p.Proc.name with
+         | Some i when not reached.(i) ->
+             Some
+               (Diag.warning (Diag.proc_loc p.Proc.name)
+                  "unused function: never called from main")
+         | _ -> None)
+
+let lint_proc (p : Proc.t) =
+  let cfg = Cfg.of_proc p in
+  let unreachable = unreachable_blocks cfg in
+  let live = Liveness.compute cfg in
+  let uninit = Uninit.compute cfg in
+  unreachable @ Uninit.warnings uninit @ Liveness.dead_stores live
+
+let run (prog : Program.t) =
+  let per_proc =
+    Array.to_list prog.Program.procs |> List.concat_map lint_proc
+  in
+  per_proc @ unused_procs prog

@@ -1,0 +1,24 @@
+(** Forward reaching-definitions analysis.
+
+    A definition site is one register write: an instruction operand
+    position, or the implicit definition of a parameter at procedure entry
+    ([index = -1]).  Registers use the dense encoding of the other
+    analyses (integer [r] → [r], float [f] → [niregs + f]). *)
+
+type site = {
+  block : Pp_ir.Block.label;
+  index : int;  (** instruction index; -1 for a parameter *)
+  reg : int;
+}
+
+type t
+
+val compute : Pp_ir.Cfg.t -> t
+val num_sites : t -> int
+val site : t -> int -> site
+
+(** Definitions that may reach the start / end of a block ([None] when
+    unreachable). *)
+val reaching_in : t -> Pp_ir.Block.label -> site list option
+
+val reaching_out : t -> Pp_ir.Block.label -> site list option

@@ -1,0 +1,39 @@
+(* A dense numbering over both register classes of a procedure: integer
+   register [r] maps to [r], float register [f] to [niregs + f].  The
+   bitvector analyses (liveness, uninit) share this encoding. *)
+
+module I = Pp_ir.Instr
+module Block = Pp_ir.Block
+
+type t = { niregs : int; nfregs : int }
+
+let of_proc (p : Pp_ir.Proc.t) =
+  { niregs = p.Pp_ir.Proc.niregs; nfregs = p.Pp_ir.Proc.nfregs }
+
+let universe t = t.niregs + t.nfregs
+let ireg _t r = r
+let freg t f = t.niregs + f
+
+let name t id =
+  if id < t.niregs then Printf.sprintf "r%d" id
+  else Printf.sprintf "f%d" (id - t.niregs)
+
+let defs t instr =
+  List.map (ireg t) (I.idefs instr) @ List.map (freg t) (I.fdefs instr)
+
+let uses t instr =
+  List.map (ireg t) (I.iuses instr) @ List.map (freg t) (I.fuses instr)
+
+let term_uses t (term : Block.terminator) =
+  match term with
+  | Block.Jmp _ -> []
+  | Block.Br (r, _, _) -> [ ireg t r ]
+  | Block.Ret (Block.Ret_int r) -> [ ireg t r ]
+  | Block.Ret (Block.Ret_float f) -> [ freg t f ]
+  | Block.Ret Block.Ret_void -> []
+
+(* Registers holding the procedure's parameters: defined on entry. *)
+let params t (p : Pp_ir.Proc.t) =
+  let is = List.init p.Pp_ir.Proc.iparams (fun r -> ireg t r) in
+  let fs = List.init p.Pp_ir.Proc.fparams (fun f -> freg t f) in
+  is @ fs

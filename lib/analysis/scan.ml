@@ -1,0 +1,197 @@
+(* Symbolic execution of one basic block of an instrumented procedure.
+
+   The scanner tracks just enough structure to recognise the shapes the
+   instrumenter emits — path-register arithmetic, counter-table address
+   computation, counter increments, PIC save/zero/restore — while treating
+   everything else (the original program's code) as opaque.  The path
+   register's value is tracked relative to its value at block entry, so a
+   block's summary is input-independent and the verifier's dataflow can
+   combine summaries along every path. *)
+
+module I = Pp_ir.Instr
+module Block = Pp_ir.Block
+
+(* A path-counter table cell address: [&global + (P + key_off) * stride],
+   where P is the path register's value at block entry. *)
+type cell = { cglobal : string; stride : int; key_off : int }
+
+type sval =
+  | Top
+  | Entry of int  (** the value register [r] held at block entry *)
+  | Const of int
+  | Global of string * int  (** [&g + off] *)
+  | Path of int  (** [P + n] *)
+  | Path_scaled of int * int  (** [(P + n) * m] *)
+  | Cell_addr of cell
+  | Cell_val of cell * int  (** value loaded from [(cell, byte off)] *)
+  | Cell_plus of cell * int * int  (** cell value + constant *)
+  | Cell_plus_pic of cell * int * int  (** cell value + a PIC reading *)
+  | Glob_val of string * int * int  (** global [g] at byte [off], + const *)
+  | Pic_read of int * int  (** counter, reading instruction index *)
+  | Frame_addr of int
+
+(* The path register at block exit, relative to its value at entry. *)
+type pstate =
+  | Prel of int  (** P_out = P_in + n *)
+  | Pabs of int  (** P_out = n (reset) *)
+  | Ptop  (** clobbered by something the scanner cannot model *)
+
+type event =
+  | Freq_inc of { cell : cell; at : int }
+      (** [table[(P+key_off)*stride] += 1] — an array-table path commit *)
+  | Metric_inc of { cell : cell; off : int; pic : int; at : int }
+      (** [cell.off += PIC_pic] — a hardware-metric accumulate *)
+  | Ctr_inc of { global : string; off : int; at : int }
+      (** [g[off] += 1] at a static offset — an edge-profile counter *)
+  | Path_prof of {
+      kind : [ `Hash | `Hash_hw | `Cct ];
+      table : int;
+      key : sval;
+      at : int;
+    }
+  | Cct_op of { op : I.prof_op; at : int }
+  | Hw_zero of { at : int }
+  | Hw_read of { counter : int; reg : int; at : int }
+  | Hw_write of { counter : int; src : sval; at : int }
+  | Call_at of { site : int; indirect : bool; at : int }
+
+type t = { p_out : pstate; events : event list; defs : int list }
+
+type path_home = Home_reg of int | Home_slot of int
+
+let pstate_of_sval = function
+  | Path n -> Prel n
+  | Const k -> Pabs k
+  | _ -> Ptop
+
+let run ?path_home ~niregs (b : Block.t) =
+  let env = Array.init (max 1 niregs) (fun r -> Entry r) in
+  let p = ref (Prel 0) in
+  (match path_home with
+  | Some (Home_reg r) -> env.(r) <- Path 0
+  | Some (Home_slot _) | None -> ());
+  let events = ref [] in
+  let defs = ref [] in
+  let push e = events := e :: !events in
+  let read r = env.(r) in
+  let p_read () =
+    match !p with Prel n -> Path n | Pabs k -> Const k | Ptop -> Top
+  in
+  let is_home_reg r =
+    match path_home with Some (Home_reg pr) -> r = pr | _ -> false
+  in
+  let home_slot_off =
+    match path_home with Some (Home_slot o) -> Some o | _ -> None
+  in
+  let set r v =
+    env.(r) <- v;
+    defs := r :: !defs;
+    if is_home_reg r then p := pstate_of_sval v
+  in
+  let clobber instr =
+    List.iter (fun r -> set r Top) (I.idefs instr)
+  in
+  List.iteri
+    (fun at instr ->
+      match instr with
+      | I.Iconst (r, k) -> set r (Const k)
+      | I.Iconst_sym (r, g) -> set r (Global (g, 0))
+      | I.Imov (rd, rs) -> set rd (read rs)
+      | I.Ibinop_imm (I.Add, rd, rs, imm) ->
+          let v =
+            match read rs with
+            | Const k -> Const (k + imm)
+            | Path n -> Path (n + imm)
+            | Global (g, o) -> Global (g, o + imm)
+            | Cell_val (c, o) -> Cell_plus (c, o, imm)
+            | Cell_plus (c, o, k) -> Cell_plus (c, o, k + imm)
+            | Glob_val (g, o, k) -> Glob_val (g, o, k + imm)
+            | Frame_addr o -> Frame_addr (o + imm)
+            | _ -> Top
+          in
+          set rd v
+      | I.Ibinop_imm (I.Sub, rd, rs, imm) ->
+          let v =
+            match read rs with
+            | Const k -> Const (k - imm)
+            | Path n -> Path (n - imm)
+            | _ -> Top
+          in
+          set rd v
+      | I.Ibinop_imm (I.Mul, rd, rs, m) ->
+          let v =
+            match read rs with
+            | Const k -> Const (k * m)
+            | Path n -> Path_scaled (n, m)
+            | _ -> Top
+          in
+          set rd v
+      | I.Ibinop (I.Add, rd, r1, r2) ->
+          let v =
+            match (read r1, read r2) with
+            | Const a, Const b -> Const (a + b)
+            | Const a, Path n | Path n, Const a -> Path (n + a)
+            | Global (g, 0), Path_scaled (n, m)
+            | Path_scaled (n, m), Global (g, 0) ->
+                Cell_addr { cglobal = g; stride = m; key_off = n }
+            | Global (g, o), Const k | Const k, Global (g, o) ->
+                Global (g, o + k)
+            | Cell_val (c, o), Pic_read (k, _) | Pic_read (k, _), Cell_val (c, o)
+              ->
+                Cell_plus_pic (c, o, k)
+            | _ -> Top
+          in
+          set rd v
+      | I.Load (rd, ra, off) ->
+          let v =
+            match read ra with
+            | Cell_addr c -> Cell_val (c, off)
+            | Global (g, o) -> Glob_val (g, o + off, 0)
+            | Frame_addr o when home_slot_off = Some (o + off) -> p_read ()
+            | _ -> Top
+          in
+          set rd v
+      | I.Store (rs, ra, off) -> (
+          match read ra with
+          | Cell_addr c -> (
+              match read rs with
+              | Cell_plus (c', o', 1) when c' = c && o' = off && off = 0 ->
+                  push (Freq_inc { cell = c; at })
+              | Cell_plus_pic (c', o', pic) when c' = c && o' = off ->
+                  push (Metric_inc { cell = c; off; pic; at })
+              | _ -> ())
+          | Global (g, o) -> (
+              match read rs with
+              | Glob_val (g', o', 1) when g' = g && o' = o + off ->
+                  push (Ctr_inc { global = g; off = o + off; at })
+              | _ -> ())
+          | Frame_addr o when home_slot_off = Some (o + off) ->
+              p := pstate_of_sval (read rs)
+          | _ -> ())
+      | I.Frameaddr (rd, off) -> set rd (Frame_addr off)
+      | I.Hwread (rd, k) ->
+          push (Hw_read { counter = k; reg = rd; at });
+          set rd (Pic_read (k, at))
+      | I.Hwzero -> push (Hw_zero { at })
+      | I.Hwwrite (rs, k) -> push (Hw_write { counter = k; src = read rs; at })
+      | I.Call { site; ret; _ } ->
+          push (Call_at { site; indirect = false; at });
+          (match ret with I.Rint r -> set r Top | I.Rfloat _ | I.Rnone -> ())
+      | I.Callind { site; ret; _ } ->
+          push (Call_at { site; indirect = true; at });
+          (match ret with I.Rint r -> set r Top | I.Rfloat _ | I.Rnone -> ())
+      | I.Prof op -> (
+          match op with
+          | I.Path_commit_hash { table; path_reg } ->
+              push (Path_prof { kind = `Hash; table; key = read path_reg; at })
+          | I.Path_commit_hash_hw { table; path_reg } ->
+              push
+                (Path_prof { kind = `Hash_hw; table; key = read path_reg; at })
+          | I.Path_commit_cct { table; path_reg } ->
+              push (Path_prof { kind = `Cct; table; key = read path_reg; at })
+          | I.Cct_enter _ | I.Cct_exit | I.Cct_call _ | I.Cct_metric_enter
+          | I.Cct_metric_exit | I.Cct_metric_backedge ->
+              push (Cct_op { op; at }))
+      | instr -> clobber instr)
+    b.Block.instrs;
+  { p_out = !p; events = List.rev !events; defs = List.rev !defs }

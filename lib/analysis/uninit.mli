@@ -1,0 +1,13 @@
+(** May-be-uninitialised register detection (forward, union confluence).
+
+    At entry only the parameter registers are initialised; a register
+    leaves the may-uninitialised set when every path to a point defines
+    it.  {!warnings} reports each use of a possibly-uninitialised
+    register.  (The VM zero-fills registers, so these are lint findings,
+    not undefined behaviour.) *)
+
+type t
+
+val compute : Pp_ir.Cfg.t -> t
+val maybe_uninit_in : t -> Pp_ir.Block.label -> Dataflow.Bitset.t option
+val warnings : t -> Pp_ir.Diag.t list

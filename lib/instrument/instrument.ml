@@ -39,6 +39,7 @@ type proc_info = {
   table : table;
   num_paths : int;
   spilled : bool;
+  path_loc : Path_instr.path_loc option;
 }
 
 type manifest = { mode : mode; options : options; infos : proc_info list }
@@ -95,15 +96,16 @@ let instrument_proc options mode ~table_id (p : Proc.t) =
           table = No_table;
           num_paths = 0;
           spilled = false;
+          path_loc = None;
         } )
   | Some _ | None ->
   let ed = Editor.create p in
   let spilled = p.Proc.niregs >= options.spill_threshold in
-  let numbering, table =
+  let numbering, table, path_loc =
     if mode = Edge_freq then begin
       let global = table_global_name p.Proc.name in
       let plan = emit_edge_profiling ed ~global in
-      (None, Edge_table { global; plan })
+      (None, Edge_table { global; plan }, None)
     end
     else if profiles_paths mode then begin
       let bl = Ball_larus.build (Editor.cfg ed) in
@@ -143,24 +145,26 @@ let instrument_proc options mode ~table_id (p : Proc.t) =
          before Cct_exit pops back to the caller.  Entry-code order between
          the two emitters is immaterial: commits only happen at backedges
          and returns, both well after Cct_enter. *)
-      Path_instr.emit ed ~placement ~hw ~target ~spill:spilled
-        ~caller_saves:options.caller_saves;
+      let path_loc =
+        Path_instr.emit ed ~placement ~hw ~target ~spill:spilled
+          ~caller_saves:options.caller_saves
+      in
       if profiles_context mode then
         Cct_instr.emit ed ~metrics:false ~backedge_reads:false;
-      (Some bl, table)
+      (Some bl, table, Some path_loc)
     end
     else begin
       (* Context_hw: CCT construction with metric deltas. *)
       Cct_instr.emit ed ~metrics:true
         ~backedge_reads:options.backedge_metric_reads;
-      (None, No_table)
+      (None, No_table, None)
     end
   in
   let num_paths =
     match numbering with Some bl -> Ball_larus.num_paths bl | None -> 0
   in
   let info =
-    { proc = p.Proc.name; numbering; table; num_paths; spilled }
+    { proc = p.Proc.name; numbering; table; num_paths; spilled; path_loc }
   in
   (Editor.finish ed, info)
 

@@ -58,6 +58,9 @@ type proc_info = {
   table : table;
   num_paths : int;
   spilled : bool;
+  path_loc : Path_instr.path_loc option;
+      (** where the path register lives, when paths are profiled — the
+          anchor the static verifier traces *)
 }
 
 (** The counter-array global used by a procedure's edge/path table, if

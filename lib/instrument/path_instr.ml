@@ -12,6 +12,8 @@ type target =
    the paper describes. *)
 type preg = Direct of I.ireg | Spilled of int  (* frame byte offset *)
 
+type path_loc = Path_reg of I.ireg | Path_slot of int
+
 let set_code ed preg value =
   match preg with
   | Direct r -> [ I.Iconst (r, value) ]
@@ -157,4 +159,5 @@ let emit ed ~placement ~hw ~target ~spill ~caller_saves =
         let c0 = Editor.new_ireg ed in
         let c1 = Editor.new_ireg ed in
         ( [ I.Hwread (c0, 0); I.Hwread (c1, 1) ],
-          [ I.Hwwrite (c0, 0); I.Hwwrite (c1, 1) ] ))
+          [ I.Hwwrite (c0, 0); I.Hwwrite (c1, 1) ] ));
+  match preg with Direct r -> Path_reg r | Spilled off -> Path_slot off

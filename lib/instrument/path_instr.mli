@@ -18,11 +18,17 @@ type target =
   | Hash_target of { id : int }
   | Cct_target of { id : int }
 
+(** Where the path register ended up: a fresh integer register, or a frame
+    slot (byte offset) in the spill case.  Recorded in the instrumentation
+    manifest so the static verifier knows what to trace. *)
+type path_loc = Path_reg of Pp_ir.Instr.ireg | Path_slot of int
+
 (** [emit ed ~placement ~hw ~target ~spill] adds the flow
-    instrumentation.  [spill] forces the path register into a frame slot
-    (the no-free-register case).  With [hw], the callee-side PIC
-    save/restore of §3.1 is emitted unless [caller_saves] (ablation A3), in
-    which case call sites get the save/restore instead. *)
+    instrumentation and returns the path register's location.  [spill]
+    forces the path register into a frame slot (the no-free-register case).
+    With [hw], the callee-side PIC save/restore of §3.1 is emitted unless
+    [caller_saves] (ablation A3), in which case call sites get the
+    save/restore instead. *)
 val emit :
   Editor.t ->
   placement:Pp_core.Ball_larus.placement ->
@@ -30,4 +36,4 @@ val emit :
   target:target ->
   spill:bool ->
   caller_saves:bool ->
-  unit
+  path_loc

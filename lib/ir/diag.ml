@@ -1,0 +1,41 @@
+type position = Instr of int | Terminator
+
+type loc = {
+  proc : string;
+  block : Block.label option;
+  position : position option;
+}
+
+type severity = Error | Warning
+
+type t = { severity : severity; loc : loc; message : string }
+
+let proc_loc proc = { proc; block = None; position = None }
+let block_loc proc label = { proc; block = Some label; position = None }
+
+let instr_loc proc label i =
+  { proc; block = Some label; position = Some (Instr i) }
+
+let term_loc proc label =
+  { proc; block = Some label; position = Some Terminator }
+
+let error loc fmt =
+  Format.kasprintf (fun message -> { severity = Error; loc; message }) fmt
+
+let warning loc fmt =
+  Format.kasprintf (fun message -> { severity = Warning; loc; message }) fmt
+
+let pp_loc ppf loc =
+  Format.pp_print_string ppf loc.proc;
+  Option.iter (fun l -> Format.fprintf ppf "/L%d" l) loc.block;
+  match (loc.block, loc.position) with
+  | Some _, Some (Instr i) -> Format.fprintf ppf "/%d" i
+  | Some _, Some Terminator -> Format.fprintf ppf "/term"
+  | _ -> ()
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %a: %s"
+    (match t.severity with Error -> "error" | Warning -> "warning")
+    pp_loc t.loc t.message
+
+let to_string t = Format.asprintf "%a" pp t

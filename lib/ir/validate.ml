@@ -1,14 +1,17 @@
-exception Invalid of string
+exception Invalid of Diag.t
 
-let fail fmt = Format.kasprintf (fun s -> raise (Invalid s)) fmt
+let fail loc fmt =
+  Format.kasprintf
+    (fun s -> raise (Invalid { Diag.severity = Diag.Error; loc; message = s }))
+    fmt
 
-let check_call prog ~caller ~callee ~nargs ~nfargs ~(ret : Instr.ret_dest) =
+let check_call prog ~loc ~callee ~nargs ~nfargs ~(ret : Instr.ret_dest) =
   match Program.find_proc prog callee with
-  | None -> fail "%s: call to undefined procedure %S" caller callee
+  | None -> fail loc "call to undefined procedure %S" callee
   | Some p ->
       if p.iparams <> nargs || p.fparams <> nfargs then
-        fail "%s: call to %s passes (%d,%d) args, expected (%d,%d)" caller
-          callee nargs nfargs p.iparams p.fparams;
+        fail loc "call to %s passes (%d,%d) args, expected (%d,%d)" callee
+          nargs nfargs p.iparams p.fparams;
       (match (ret, p.returns) with
       | Instr.Rint _, Proc.Returns_int
       | Instr.Rfloat _, Proc.Returns_float
@@ -17,33 +20,31 @@ let check_call prog ~caller ~callee ~nargs ~nfargs ~(ret : Instr.ret_dest) =
           ()
       | Instr.Rint _, (Proc.Returns_float | Proc.Returns_void)
       | Instr.Rfloat _, (Proc.Returns_int | Proc.Returns_void) ->
-          fail "%s: call to %s binds a result of the wrong kind" caller
-            callee)
+          fail loc "call to %s binds a result of the wrong kind" callee)
 
-let check_symbol prog ~caller name =
+let check_symbol prog ~loc name =
   if Program.find_proc prog name = None
      && Program.find_global prog name = None then
-    fail "%s: reference to undefined symbol %S" caller name
+    fail loc "reference to undefined symbol %S" name
 
-let check_instr prog (p : Proc.t) instr =
-  let caller = p.name in
+let check_instr prog (p : Proc.t) ~loc instr =
   List.iter
     (fun r ->
       if r < 0 || r >= p.niregs then
-        fail "%s: integer register r%d out of range" caller r)
+        fail loc "integer register r%d out of range" r)
     (Instr.idefs instr @ Instr.iuses instr);
   List.iter
     (fun r ->
       if r < 0 || r >= p.nfregs then
-        fail "%s: float register f%d out of range" caller r)
+        fail loc "float register f%d out of range" r)
     (Instr.fdefs instr @ Instr.fuses instr);
   match instr with
   | Instr.Call { callee; args; fargs; ret; _ } ->
-      check_call prog ~caller ~callee ~nargs:(List.length args)
+      check_call prog ~loc ~callee ~nargs:(List.length args)
         ~nfargs:(List.length fargs) ~ret
-  | Instr.Iconst_sym (_, name) -> check_symbol prog ~caller name
+  | Instr.Iconst_sym (_, name) -> check_symbol prog ~loc name
   | Instr.Hwread (_, k) | Instr.Hwwrite (_, k) ->
-      if k <> 0 && k <> 1 then fail "%s: pic index %d (must be 0/1)" caller k
+      if k <> 0 && k <> 1 then fail loc "pic index %d (must be 0/1)" k
   | Instr.Callind _ | Instr.Iconst _ | Instr.Fconst _ | Instr.Imov _
   | Instr.Fmov _ | Instr.Ibinop _ | Instr.Ibinop_imm _ | Instr.Icmp _
   | Instr.Icmp_imm _ | Instr.Fbinop _ | Instr.Fcmp _ | Instr.Itof _
@@ -61,7 +62,9 @@ let check_ret (p : Proc.t) (b : Block.t) =
       | Block.Ret_void, Proc.Returns_void ->
           ()
       | _ ->
-          fail "%s: L%d returns a value of the wrong kind" p.name b.label)
+          fail
+            (Diag.term_loc p.name b.label)
+            "returns a value of the wrong kind")
   | Block.Jmp _ | Block.Br _ -> ()
 
 let check_flow (p : Proc.t) =
@@ -70,7 +73,7 @@ let check_flow (p : Proc.t) =
   Array.iter
     (fun (b : Block.t) ->
       if not (Pp_graph.Dfs.reachable dfs b.label) then
-        fail "%s: L%d unreachable from entry" p.name b.label)
+        fail (Diag.block_loc p.name b.label) "unreachable from entry")
     p.blocks;
   (* Every vertex must reach EXIT: run a reverse DFS from EXIT by searching
      the reversed graph (walk in-edges). *)
@@ -87,7 +90,9 @@ let check_flow (p : Proc.t) =
   Array.iter
     (fun (b : Block.t) ->
       if not reaches.(b.label) then
-        fail "%s: L%d cannot reach a return (infinite loop?)" p.name b.label)
+        fail
+          (Diag.block_loc p.name b.label)
+          "cannot reach a return (infinite loop?)")
     p.blocks
 
 let run prog =
@@ -95,11 +100,16 @@ let run prog =
     (fun (p : Proc.t) ->
       Array.iter
         (fun (b : Block.t) ->
-          List.iter (check_instr prog p) b.instrs;
+          List.iteri
+            (fun i instr ->
+              check_instr prog p ~loc:(Diag.instr_loc p.name b.label i) instr)
+            b.instrs;
           check_ret p b)
         p.blocks;
       check_flow p)
     prog.Program.procs
 
 let check prog =
-  match run prog with () -> Ok () | exception Invalid msg -> Error msg
+  match run prog with () -> Ok () | exception Invalid d -> Error d
+
+let check_message prog = Result.map_error Diag.to_string (check prog)

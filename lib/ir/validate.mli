@@ -1,9 +1,11 @@
 (** Structural checking of whole programs, run before loading. *)
 
-exception Invalid of string
+exception Invalid of Diag.t
+(** The diagnostic's location names the offending procedure and, where the
+    violation is attached to code, the block and instruction index. *)
 
-(** [run prog] checks, raising {!Invalid} with a diagnostic on the first
-    violation:
+(** [run prog] checks, raising {!Invalid} with a located diagnostic on the
+    first violation:
     - every direct call and [Iconst_sym] names an existing procedure or
       global;
     - call argument counts and result destinations match the callee
@@ -15,4 +17,8 @@ exception Invalid of string
 val run : Program.t -> unit
 
 (** [check prog] is [run] packaged as a result. *)
-val check : Program.t -> (unit, string) result
+val check : Program.t -> (unit, Diag.t) result
+
+(** [check_message prog] is [check] with the diagnostic rendered to a
+    string, for callers that only report. *)
+val check_message : Program.t -> (unit, string) result

@@ -21,4 +21,7 @@ let () =
       ("sampling", Test_sampling.suite);
       ("random_programs", Test_random_programs.suite);
       ("workloads", Test_workloads.suite);
+      ("dataflow", Test_dataflow.suite);
+      ("check", Test_check.suite);
+      ("mutation", Test_mutation.suite);
     ]

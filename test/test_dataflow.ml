@@ -1,0 +1,336 @@
+(* The generic dataflow engine and the stock analyses built on it. *)
+
+open Pp_ir
+module Dataflow = Pp_analysis.Dataflow
+module Bitset = Dataflow.Bitset
+module Liveness = Pp_analysis.Liveness
+module Uninit = Pp_analysis.Uninit
+module Reaching_defs = Pp_analysis.Reaching_defs
+module Lint = Pp_analysis.Lint
+module Ball_larus = Pp_core.Ball_larus
+
+let check = Alcotest.check
+let int_list = Alcotest.(list int)
+
+module Max = Dataflow.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let join = max
+  let pp = Format.pp_print_int
+end)
+
+module Min = Dataflow.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let join = min
+  let pp = Format.pp_print_int
+end)
+
+(* Forward, join = max, transfer = +1 per block: the final value at EXIT is
+   the number of blocks on the longest ENTRY->EXIT path. *)
+let test_longest_path () =
+  let cfg = Cfg.of_proc (Fixtures.figure1_proc ()) in
+  let r =
+    Max.solve ~direction:Dataflow.Forward cfg ~init:0 ~transfer:(fun _ v ->
+        v + 1)
+  in
+  check Alcotest.(option int) "longest path A..F" (Some 6) (Max.final r);
+  (* Backward is symmetric: longest path measured from the other end. *)
+  let b =
+    Max.solve ~direction:Dataflow.Backward cfg ~init:0 ~transfer:(fun _ v ->
+        v + 1)
+  in
+  check Alcotest.(option int) "backward agrees" (Some 6) (Max.final b)
+
+(* Charging Ball-Larus Val(e) on edges: the max path sum reaching EXIT is
+   num_paths - 1 and the min is 0 — exactly the encoding's range. *)
+let test_edge_transfer () =
+  let cfg = Cfg.of_proc (Fixtures.figure1_proc ()) in
+  let bl = Ball_larus.build cfg in
+  let edge_transfer e v = v + Ball_larus.edge_val bl e in
+  let id _ v = v in
+  let mx =
+    Max.solve ~edge_transfer ~direction:Dataflow.Forward cfg ~init:0
+      ~transfer:id
+  in
+  let mn =
+    Min.solve ~edge_transfer ~direction:Dataflow.Forward cfg ~init:0
+      ~transfer:id
+  in
+  check Alcotest.(option int) "max path sum" (Some 5) (Max.final mx);
+  check Alcotest.(option int) "min path sum" (Some 0) (Min.final mn)
+
+(* Blocks not reachable from ENTRY stay at bottom (= None). *)
+let test_unreachable_bottom () =
+  let b =
+    Builder.create ~name:"unreach" ~iparams:0 ~fparams:0
+      ~returns:Proc.Returns_void
+  in
+  let l0 = Builder.new_block b in
+  let l1 = Builder.new_block b in
+  ignore l0;
+  Builder.terminate b (Block.Ret Block.Ret_void);
+  Builder.switch_to b l1;
+  Builder.terminate b (Block.Jmp l0);
+  let cfg = Cfg.of_proc (Builder.finish b) in
+  let r =
+    Max.solve ~direction:Dataflow.Forward cfg ~init:0 ~transfer:(fun _ v ->
+        v + 1)
+  in
+  check Alcotest.(option int) "entry block reached" (Some 1) (Max.after r l0);
+  check Alcotest.(option int) "dead block at bottom" None (Max.before r l1)
+
+(* The worklist reaches a fixpoint in a bounded number of transfer
+   applications on cyclic graphs. *)
+let test_convergence () =
+  List.iter
+    (fun seed ->
+      let proc = Fixtures.random_cyclic_proc ~seed ~n:24 in
+      let cfg = Cfg.of_proc proc in
+      let r =
+        Max.solve ~direction:Dataflow.Forward cfg
+          ~init:0
+          ~transfer:(fun _ v -> min (v + 1) 40)
+      in
+      let nverts = 24 + 1 + 2 in
+      (* height of the chain lattice {0..40} times the vertex count is a
+         crude worklist bound; far below it in practice *)
+      if Max.steps r > 41 * nverts then
+        Alcotest.failf "seed %d: %d steps for %d vertices" seed (Max.steps r)
+          nverts)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_bitset () =
+  let s = Bitset.create 70 in
+  Bitset.add s 0;
+  Bitset.add s 63;
+  Bitset.add s 69;
+  check int_list "elements" [ 0; 63; 69 ] (Bitset.elements s);
+  check Alcotest.bool "mem" true (Bitset.mem s 63);
+  Bitset.remove s 63;
+  check Alcotest.bool "removed" false (Bitset.mem s 63);
+  let t = Bitset.create 70 in
+  Bitset.add t 1;
+  Bitset.add t 69;
+  check int_list "union" [ 0; 1; 69 ] (Bitset.elements (Bitset.union s t));
+  check int_list "inter" [ 69 ] (Bitset.elements (Bitset.inter s t));
+  check int_list "diff" [ 0 ] (Bitset.elements (Bitset.diff s t));
+  check Alcotest.bool "full/mem" true (Bitset.mem (Bitset.full 70) 69);
+  check Alcotest.bool "equal" true
+    (Bitset.equal (Bitset.union s t) (Bitset.union t s))
+
+(* r0 is the parameter.
+     L0: r1 <- 5;          br r0 ? L1 : L2
+     L1: r2 <- r1 + r0;    jmp L3
+     L2: r2 <- 0;          jmp L3
+     L3: ret r2 *)
+let liveness_proc () =
+  let b =
+    Builder.create ~name:"live" ~iparams:1 ~fparams:0
+      ~returns:Proc.Returns_int
+  in
+  let l0 = Builder.new_block b in
+  let l1 = Builder.new_block b in
+  let l2 = Builder.new_block b in
+  let l3 = Builder.new_block b in
+  ignore l0;
+  Builder.emit b (Instr.Iconst (1, 5));
+  Builder.terminate b (Block.Br (0, l1, l2));
+  Builder.switch_to b l1;
+  Builder.emit b (Instr.Ibinop (Instr.Add, 2, 1, 0));
+  Builder.terminate b (Block.Jmp l3);
+  Builder.switch_to b l2;
+  Builder.emit b (Instr.Iconst (2, 0));
+  Builder.terminate b (Block.Jmp l3);
+  Builder.switch_to b l3;
+  Builder.terminate b (Block.Ret (Block.Ret_int 2));
+  Builder.finish b
+
+let elements = function
+  | None -> Alcotest.fail "unexpectedly unreachable"
+  | Some s -> Bitset.elements s
+
+let test_liveness () =
+  let lv = Liveness.compute (Cfg.of_proc (liveness_proc ())) in
+  check int_list "live into L0" [ 0 ] (elements (Liveness.live_in lv 0));
+  check int_list "live out of L0" [ 0; 1 ] (elements (Liveness.live_out lv 0));
+  check int_list "live into L1" [ 0; 1 ] (elements (Liveness.live_in lv 1));
+  check int_list "live into L2" [] (elements (Liveness.live_in lv 2));
+  check int_list "live into L3" [ 2 ] (elements (Liveness.live_in lv 3));
+  check Alcotest.string "reg naming" "r1" (Liveness.reg_name lv 1)
+
+let single_block_proc instrs ret =
+  let b =
+    Builder.create ~name:"one" ~iparams:1 ~fparams:0
+      ~returns:Proc.Returns_int
+  in
+  ignore (Builder.new_block b);
+  List.iter (Builder.emit b) instrs;
+  Builder.terminate b (Block.Ret (Block.Ret_int ret));
+  Builder.finish b
+
+let test_dead_stores () =
+  let dead r1 r2 =
+    let lv = Liveness.compute (Cfg.of_proc (single_block_proc [ r1; r2 ] 1)) in
+    Liveness.dead_stores lv
+  in
+  (* r1 <- 1 is overwritten before any read *)
+  (match dead (Instr.Iconst (1, 1)) (Instr.Iconst (1, 2)) with
+  | [ d ] ->
+      check Alcotest.string "location"
+        "warning: one/L0/0: dead store: r1 is never read" (Diag.to_string d)
+  | ds -> Alcotest.failf "expected one dead store, got %d" (List.length ds));
+  (* the implicit zero-init idiom is not flagged by default... *)
+  let lv =
+    Liveness.compute
+      (Cfg.of_proc
+         (single_block_proc [ Instr.Iconst (1, 0); Instr.Iconst (1, 2) ] 1))
+  in
+  check Alcotest.int "zero-init tolerated" 0
+    (List.length (Liveness.dead_stores lv));
+  (* ... unless asked for *)
+  check Alcotest.int "zero-init flagged on demand" 1
+    (List.length (Liveness.dead_stores ~flag_zero_init:true lv));
+  (* an instruction with side effects is never a dead store *)
+  let lv =
+    Liveness.compute
+      (Cfg.of_proc
+         (single_block_proc
+            [ Instr.Load (1, 0, 0); Instr.Iconst (1, 2) ]
+            1))
+  in
+  check Alcotest.int "loads kept" 0 (List.length (Liveness.dead_stores lv))
+
+let test_uninit () =
+  (* r2 <- r1 + r0 with only r0 a parameter: r1 may be uninitialised *)
+  let proc = single_block_proc [ Instr.Ibinop (Instr.Add, 2, 1, 0) ] 2 in
+  let u = Uninit.compute (Cfg.of_proc proc) in
+  (match Uninit.maybe_uninit_in u 0 with
+  | None -> Alcotest.fail "entry unreachable?"
+  | Some s ->
+      check Alcotest.bool "param initialised" false (Bitset.mem s 0);
+      check Alcotest.bool "r1 uninitialised" true (Bitset.mem s 1));
+  (match Uninit.warnings u with
+  | [ d ] ->
+      check Alcotest.string "warning"
+        "warning: one/L0/0: r1 may be used uninitialised" (Diag.to_string d)
+  | ws -> Alcotest.failf "expected one warning, got %d" (List.length ws));
+  (* a register defined on only one branch arm is still 'maybe' at the join;
+     defined on both arms it is initialised *)
+  let both_arms =
+    let b =
+      Builder.create ~name:"join" ~iparams:1 ~fparams:0
+        ~returns:Proc.Returns_int
+    in
+    let l0 = Builder.new_block b in
+    let l1 = Builder.new_block b in
+    let l2 = Builder.new_block b in
+    let l3 = Builder.new_block b in
+    ignore l0;
+    Builder.terminate b (Block.Br (0, l1, l2));
+    Builder.switch_to b l1;
+    Builder.emit b (Instr.Iconst (1, 1));
+    Builder.terminate b (Block.Jmp l3);
+    Builder.switch_to b l2;
+    Builder.terminate b (Block.Jmp l3);
+    Builder.switch_to b l3;
+    Builder.terminate b (Block.Ret (Block.Ret_int 1));
+    Builder.finish b
+  in
+  let u = Uninit.compute (Cfg.of_proc both_arms) in
+  check Alcotest.int "one-armed define still flagged" 1
+    (List.length (Uninit.warnings u))
+
+let test_reaching_defs () =
+  (* L0: r1 <- 0; jmp L1.  L1: br r0 ? L2 : L3.
+     L2: r1 <- r1 + r0; jmp L1 (backedge).  L3: ret r1. *)
+  let b =
+    Builder.create ~name:"reach" ~iparams:1 ~fparams:0
+      ~returns:Proc.Returns_int
+  in
+  let l0 = Builder.new_block b in
+  let l1 = Builder.new_block b in
+  let l2 = Builder.new_block b in
+  let l3 = Builder.new_block b in
+  ignore l0;
+  Builder.emit b (Instr.Iconst (1, 0));
+  Builder.terminate b (Block.Jmp l1);
+  Builder.switch_to b l1;
+  Builder.terminate b (Block.Br (0, l2, l3));
+  Builder.switch_to b l2;
+  Builder.emit b (Instr.Ibinop (Instr.Add, 1, 1, 0));
+  Builder.terminate b (Block.Jmp l1);
+  Builder.switch_to b l3;
+  Builder.terminate b (Block.Ret (Block.Ret_int 1));
+  let rd = Reaching_defs.compute (Cfg.of_proc (Builder.finish b)) in
+  let defs_of_reg l reg =
+    match Reaching_defs.reaching_in rd l with
+    | None -> Alcotest.fail "unreachable"
+    | Some sites ->
+        List.filter (fun (s : Reaching_defs.site) -> s.reg = reg) sites
+        |> List.map (fun (s : Reaching_defs.site) -> (s.block, s.index))
+        |> List.sort compare
+  in
+  (* both the init in L0 and the update in L2 reach the loop head and the
+     return block; only the init reaches L0's own body *)
+  check
+    Alcotest.(list (pair int int))
+    "r1 defs at head"
+    [ (0, 0); (2, 0) ]
+    (defs_of_reg l1 1);
+  check
+    Alcotest.(list (pair int int))
+    "r1 defs at return"
+    [ (0, 0); (2, 0) ]
+    (defs_of_reg l3 1);
+  (* the parameter's pseudo-site (index -1) reaches everywhere *)
+  check Alcotest.bool "param site" true
+    (List.exists (fun (_, i) -> i = -1) (defs_of_reg l3 0))
+
+let test_lint_unused () =
+  let main =
+    let b =
+      Builder.create ~name:"main" ~iparams:0 ~fparams:0
+        ~returns:Proc.Returns_void
+    in
+    ignore (Builder.new_block b);
+    Builder.emit_call b ~callee:"used" ~args:[] ~fargs:[] ~ret:Instr.Rnone;
+    Builder.terminate b (Block.Ret Block.Ret_void);
+    Builder.finish b
+  in
+  let leaf name =
+    let b =
+      Builder.create ~name ~iparams:0 ~fparams:0 ~returns:Proc.Returns_void
+    in
+    ignore (Builder.new_block b);
+    Builder.terminate b (Block.Ret Block.Ret_void);
+    Builder.finish b
+  in
+  let prog =
+    Program.make
+      ~procs:[ main; leaf "used"; leaf "unused" ]
+      ~globals:[] ~main:"main"
+  in
+  match Lint.run prog with
+  | [ d ] ->
+      check Alcotest.string "diagnostic"
+        "warning: unused: unused function: never called from main"
+        (Diag.to_string d)
+  | ds -> Alcotest.failf "expected one finding, got %d" (List.length ds)
+
+let suite =
+  [
+    Alcotest.test_case "longest path" `Quick test_longest_path;
+    Alcotest.test_case "edge transfer" `Quick test_edge_transfer;
+    Alcotest.test_case "unreachable stays bottom" `Quick
+      test_unreachable_bottom;
+    Alcotest.test_case "convergence" `Quick test_convergence;
+    Alcotest.test_case "bitset" `Quick test_bitset;
+    Alcotest.test_case "liveness" `Quick test_liveness;
+    Alcotest.test_case "dead stores" `Quick test_dead_stores;
+    Alcotest.test_case "uninitialised reads" `Quick test_uninit;
+    Alcotest.test_case "reaching definitions" `Quick test_reaching_defs;
+    Alcotest.test_case "unused functions" `Quick test_lint_unused;
+  ]
