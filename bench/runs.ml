@@ -110,18 +110,55 @@ let measure_mode (w : W.t) config =
     cct_summary;
   }
 
+let measure (w : W.t) config =
+  match config with
+  | Base -> measure_base w
+  | Flow_hw | Context_hw | Context_flow -> measure_mode w config
+
 let get (w : W.t) config =
   match Hashtbl.find_opt cache (w.W.name, config) with
   | Some m -> m
   | None ->
       note "  running %s / %s ..." w.W.name (config_name config);
-      let m =
-        match config with
-        | Base -> measure_base w
-        | Flow_hw | Context_hw | Context_flow -> measure_mode w config
-      in
+      let m = measure w config in
       Hashtbl.replace cache (w.W.name, config) m;
       m
+
+(* Fill the cache through the process pool: [jobs] measurements at a time,
+   each in its own forked worker.  A shard that dies is only noted — its
+   cell stays empty, and a table that needs it will re-measure serially
+   (and hit the same failure in-process, where it is debuggable). *)
+let prefetch ~jobs pairs =
+  let missing =
+    List.filter
+      (fun ((w : W.t), config) ->
+        not (Hashtbl.mem cache (w.W.name, config)))
+      pairs
+  in
+  if jobs > 1 && missing <> [] then begin
+    note "prefetching %d measurements with %d workers ..."
+      (List.length missing) jobs;
+    let outcomes =
+      Pp_run.Pool.map ~jobs (fun (w, config) -> measure w config) missing
+    in
+    List.iter2
+      (fun ((w : W.t), config) outcome ->
+        match outcome with
+        | Pp_run.Pool.Done m -> Hashtbl.replace cache (w.W.name, config) m
+        | o ->
+            note "  %s / %s %s" w.W.name (config_name config)
+              (Pp_run.Pool.describe o))
+      missing outcomes
+  end
+
+(* The full Tables-1..5 grid: every workload under every configuration. *)
+let full_grid () =
+  List.concat_map
+    (fun w ->
+      List.map
+        (fun c -> (w, c))
+        [ Base; Flow_hw; Context_hw; Context_flow ])
+    Registry.all
 
 let counter m e = List.assoc e m.counters
 

@@ -3,8 +3,11 @@
    instrument, execute on the simulated UltraSPARC, and report.
 
      pp run program.mc
+     pp run --workload gcc_like --shards 4 --jobs 4
      pp profile program.mc --mode flow-hw --top 10
      pp profile --workload compress_like --mode context-flow
+     pp bench --jobs 8
+     pp merge -o whole.pprof shard0.pprof shard1.pprof
      pp paths program.mc
      pp workloads                                                          *)
 
@@ -21,6 +24,10 @@ module Cct_stats = Pp_core.Cct_stats
 module Runtime = Pp_vm.Runtime
 module Registry = Pp_workloads.Registry
 module Cct_io = Pp_core.Cct_io
+module Profile_io = Pp_core.Profile_io
+module Pool = Pp_run.Pool
+module Matrix = Pp_run.Matrix
+module Diag = Pp_ir.Diag
 
 let read_file path =
   let ic = open_in_bin path in
@@ -91,12 +98,16 @@ let exit_err msg =
 
 (* --- pp run --- *)
 
+(* Sum per-event counters across shards (events in shard-0 order). *)
+let merge_counters a b =
+  List.map (fun (e, v) -> (e, v + (try List.assoc e b with Not_found -> 0))) a
+
 let run_cmd =
   let doc = "Execute a program uninstrumented and report its counters." in
-  let action file workload budget counters =
+  let action file workload budget counters shards jobs =
     match load ~file ~workload with
     | Error msg -> exit_err msg
-    | Ok prog -> (
+    | Ok prog when shards <= 1 -> (
         match
           Interp.run (Interp.create ~max_instructions:budget prog)
         with
@@ -106,13 +117,70 @@ let run_cmd =
               r.Interp.cycles;
             if counters then print_counters r
         | exception Interp.Trap msg -> exit_err ("trap: " ^ msg))
+    | Ok prog -> (
+        (* Sharded: the same run in [shards] isolated processes, counters
+           summed — the aggregate profile a sharded run matrix produces. *)
+        let outcomes =
+          Pool.map ~jobs
+            (fun shard ->
+              ignore shard;
+              Interp.run (Interp.create ~max_instructions:budget prog))
+            (List.init shards (fun i -> i))
+        in
+        let ok = List.filter_map Pool.outcome_ok outcomes in
+        List.iteri
+          (fun i o ->
+            match o with
+            | Pool.Done _ -> ()
+            | o -> Printf.eprintf "pp: shard %d %s\n" i (Pool.describe o))
+          outcomes;
+        match ok with
+        | [] -> exit_err "all shards failed"
+        | first :: rest ->
+            List.iteri
+              (fun i r ->
+                if r.Interp.output <> first.Interp.output then
+                  Printf.eprintf
+                    "pp: shard %d produced different output (nondeterminism?)\n"
+                    (i + 1))
+              rest;
+            print_output first;
+            let insts =
+              List.fold_left (fun a r -> a + r.Interp.instructions) 0 ok
+            in
+            let cycles = List.fold_left (fun a r -> a + r.Interp.cycles) 0 ok in
+            Printf.printf
+              "\n%d instructions, %d cycles over %d of %d shards\n" insts
+              cycles (List.length ok) shards;
+            if counters then begin
+              let merged =
+                List.fold_left
+                  (fun acc r -> merge_counters acc r.Interp.counters)
+                  first.Interp.counters rest
+              in
+              Printf.printf "\n-- counters (all shards) --\n";
+              List.iter
+                (fun (e, v) -> Printf.printf "%-18s %12d\n" (Event.name e) v)
+                merged
+            end)
   in
   let counters =
     Arg.(value & flag
          & info [ "counters"; "c" ] ~doc:"Print all event counters.")
   in
+  let shards =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"K"
+             ~doc:"Execute the run K times in isolated processes and sum \
+                   the counters.")
+  in
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Shards to run concurrently.")
+  in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const action $ file $ workload_opt $ budget $ counters)
+    Term.(const action $ file $ workload_opt $ budget $ counters $ shards
+          $ jobs)
 
 (* --- pp profile --- *)
 
@@ -200,7 +268,8 @@ let profile_cmd =
     "Instrument, execute on the simulated UltraSPARC, and report the \
      profile."
   in
-  let action file workload budget mode pic0 pic1 top cct_out dot_out =
+  let action file workload budget mode pic0 pic1 top cct_out dot_out
+      profile_out =
     match load ~file ~workload with
     | Error msg -> exit_err msg
     | Ok prog -> (
@@ -215,6 +284,24 @@ let profile_cmd =
             Printf.printf "\n%d instructions, %d cycles (instrumented, %s)\n"
               r.Interp.instructions r.Interp.cycles
               (Instrument.mode_name mode);
+            Option.iter
+              (fun path ->
+                match mode with
+                | Instrument.Flow_freq | Instrument.Flow_hw
+                | Instrument.Context_flow ->
+                    let saved =
+                      Profile_io.of_profile
+                        ~program_hash:(Profile_io.program_hash prog)
+                        ~mode:(Instrument.mode_name mode)
+                        (Driver.path_profile session)
+                    in
+                    Profile_io.to_file path saved;
+                    Printf.printf "wrote path profile to %s\n" path
+                | Instrument.Edge_freq | Instrument.Context_hw ->
+                    exit_err
+                      "--profile-out needs a path-profiling mode \
+                       (flow-freq, flow-hw or context-flow)")
+              profile_out;
             (match mode with
             | Instrument.Flow_freq | Instrument.Flow_hw
             | Instrument.Context_flow ->
@@ -287,10 +374,16 @@ let profile_cmd =
          & info [ "dot" ] ~docv:"FILE"
              ~doc:"Write the CCT as a Graphviz graph (context modes).")
   in
+  let profile_out =
+    Arg.(value & opt (some string) None
+         & info [ "profile-out" ] ~docv:"FILE"
+             ~doc:"Write the path profile to FILE as a mergeable shard \
+                   (see 'pp merge').")
+  in
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(
       const action $ file $ workload_opt $ budget $ mode $ pic0 $ pic1 $ top
-      $ cct_out $ dot_out)
+      $ cct_out $ dot_out $ profile_out)
 
 (* --- pp paths --- *)
 
@@ -497,6 +590,156 @@ let check_cmd =
       const action $ file $ workload_opt $ modes $ lint_flag $ optimize
       $ caller_saves $ backedge_reads)
 
+(* --- pp bench --- *)
+
+let bench_cmd =
+  let doc =
+    "Run the workload x instrumentation-mode matrix (the paper's \
+     evaluation grid) through the process pool and print one deterministic \
+     report: byte-identical at any --jobs."
+  in
+  let action jobs timeout budget workloads modes =
+    (match workloads with
+    | [] -> ()
+    | ws ->
+        List.iter
+          (fun w ->
+            if Registry.find w = None then
+              exit_err (Printf.sprintf "unknown workload %S" w))
+          ws);
+    let configs =
+      match modes with
+      | [] -> Matrix.all_configs
+      | ms -> Matrix.Base :: List.map (fun m -> Matrix.Mode m) ms
+    in
+    let tasks =
+      Matrix.tasks
+        ?workloads:(match workloads with [] -> None | ws -> Some ws)
+        ~configs ()
+    in
+    let results =
+      Matrix.run ~jobs ?timeout:(if timeout > 0.0 then Some timeout else None)
+        ~budget tasks
+    in
+    print_string (Matrix.report results);
+    match Matrix.failures results with
+    | [] -> ()
+    | fs ->
+        List.iter (fun f -> Printf.eprintf "pp: %s\n" f) fs;
+        exit 1
+  in
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Concurrent worker processes (1 = in-process, serial).")
+  in
+  let timeout =
+    Arg.(value & opt float 0.0
+         & info [ "timeout" ] ~docv:"SECONDS"
+             ~doc:"Kill a shard after this long (0 = no limit; needs --jobs \
+                   > 1).")
+  in
+  let workloads =
+    Arg.(value & opt_all string []
+         & info [ "workload"; "w" ] ~docv:"NAME"
+             ~doc:"Restrict to this workload (repeatable; default: all).")
+  in
+  let modes =
+    Arg.(value & opt_all mode_conv []
+         & info [ "mode"; "m" ] ~docv:"MODE"
+             ~doc:"Restrict to base plus this mode (repeatable; default: \
+                   base and all five).")
+  in
+  Cmd.v (Cmd.info "bench" ~doc)
+    Term.(const action $ jobs $ timeout $ budget $ workloads $ modes)
+
+(* --- pp merge --- *)
+
+let merge_cmd =
+  let doc =
+    "Sum profile shards saved by 'pp profile --profile-out' (or CCTs saved \
+     by --cct-out, with --cct) into one profile."
+  in
+  let action out cct_mode inputs =
+    if List.length inputs < 1 then exit_err "nothing to merge";
+    if cct_mode then begin
+      let load path =
+        try Cct_io.of_file ~codec:Cct_io.metrics_codec path with
+        | Cct_io.Parse_error (line, msg) ->
+            exit_err (Printf.sprintf "%s:%d: %s" path line msg)
+        | Sys_error msg -> exit_err msg
+      in
+      let merge_data a b =
+        (* Metric arrays summed pointwise; a record seen by one shard only
+           keeps (a copy of) its metrics. *)
+        match (a, b) with
+        | Some a, Some b ->
+            if Array.length a <> Array.length b then
+              exit_err "metric arity differs between shards";
+            Array.init (Array.length a) (fun i -> a.(i) + b.(i))
+        | Some a, None -> Array.copy a
+        | None, Some b -> Array.copy b
+        | None, None -> [||]
+      in
+      let merged =
+        List.fold_left
+          (fun acc path ->
+            let next = load path in
+            match acc with
+            | None -> Some next
+            | Some acc -> (
+                try Some (Cct.merge ~merge_data acc next)
+                with Invalid_argument msg ->
+                  exit_err (Printf.sprintf "%s: %s" path msg)))
+          None inputs
+      in
+      let merged = Option.get merged in
+      Cct_io.to_file ~codec:Cct_io.metrics_codec out merged;
+      Printf.printf "merged %d CCTs (%d call records) into %s\n"
+        (List.length inputs)
+        (Cct.num_nodes merged - 1)
+        out
+    end
+    else begin
+      let load path =
+        try Profile_io.of_file path with
+        | Profile_io.Parse_error (line, msg) ->
+            exit_err (Printf.sprintf "%s:%d: %s" path line msg)
+        | Sys_error msg -> exit_err msg
+      in
+      match Profile_io.merge_all (List.map load inputs) with
+      | Error d -> exit_err (Diag.to_string d)
+      | Ok merged ->
+          Profile_io.to_file out merged;
+          let freq, m0, m1 = Profile_io.totals merged in
+          Printf.printf
+            "merged %d shards into %s: %d procedures, freq=%d %s=%d %s=%d\n"
+            (List.length inputs) out
+            (List.length merged.Profile_io.procs)
+            freq
+            (Event.name merged.Profile_io.pic0)
+            m0
+            (Event.name merged.Profile_io.pic1)
+            m1
+    end
+  in
+  let out =
+    Arg.(required & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  let cct_mode =
+    Arg.(value & flag
+         & info [ "cct" ]
+             ~doc:"Merge calling context trees (files from --cct-out) \
+                   instead of path profiles.")
+  in
+  let inputs =
+    Arg.(non_empty & pos_all string []
+         & info [] ~docv:"SHARD" ~doc:"Profile shards to merge.")
+  in
+  Cmd.v (Cmd.info "merge" ~doc)
+    Term.(const action $ out $ cct_mode $ inputs)
+
 (* --- pp workloads --- *)
 
 let workloads_cmd =
@@ -519,4 +762,4 @@ let () =
   let info = Cmd.info "pp" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
                     [ run_cmd; profile_cmd; paths_cmd; disasm_cmd;
-                      check_cmd; workloads_cmd ]))
+                      check_cmd; bench_cmd; merge_cmd; workloads_cmd ]))

@@ -213,9 +213,147 @@ let graft_node t ~parent ~proc ~nsites ~data =
   node
 
 let graft_edge t ~from_ ~site ~target ~is_backedge ~kind ~calls =
+  (* Cons, as live construction does: slot lists are most-recent-first and
+     {!edges} reverses them, so grafting in first-use order round-trips.
+     (Appending here would reverse multi-edge slots — indirect-call lists
+     and merged-call-site slots — on every reload.) *)
   let idx = slot_index t from_ site in
-  from_.slots.(idx) <-
-    from_.slots.(idx) @ [ { site; target; is_backedge; kind; calls } ]
+  from_.slots.(idx) <- { site; target; is_backedge; kind; calls } :: from_.slots.(idx)
+
+let merge ~merge_data ta tb =
+  if ta.merge_call_sites <> tb.merge_call_sites then
+    invalid_arg "Cct.merge: one tree merges call sites, the other does not";
+  let root =
+    {
+      node_proc = root_name;
+      node_nsites = 1;
+      node_parent = None;
+      node_depth = 0;
+      node_id = 0;
+      node_data =
+        merge_data (Some ta.root_node.node_data) (Some tb.root_node.node_data);
+      slots = Array.make 1 [];
+    }
+  in
+  let t =
+    {
+      merge_call_sites = ta.merge_call_sites;
+      make_data = ta.make_data;
+      root_node = root;
+      stack = [ root ];
+      nodes_rev = [ root ];
+      n_nodes = 1;
+    }
+  in
+  (* Walk the two trees in lockstep.  Within each callee slot, edges are
+     keyed by the callee's procedure (exactly the lookup {!enter} performs);
+     the union lists [ta]'s edges in first-use order followed by edges only
+     [tb] has, which reproduces a serial run's first-use order when the
+     shards partition a serial event stream. *)
+  let rec go (na : 'a node option) (nb : 'a node option) (rn : 'a node) =
+    let slot_of n idx =
+      match n with
+      | Some n when idx < Array.length n.slots -> List.rev n.slots.(idx)
+      | _ -> []
+    in
+    for idx = 0 to Array.length rn.slots - 1 do
+      let ea = slot_of na idx and eb = slot_of nb idx in
+      let find es proc =
+        List.find_opt (fun e -> e.target.node_proc = proc) es
+      in
+      let union =
+        List.map (fun e -> e.target.node_proc) ea
+        @ List.filter_map
+            (fun e ->
+              let p = e.target.node_proc in
+              if find ea p <> None then None else Some p)
+            eb
+      in
+      List.iter
+        (fun pname ->
+          let fa = find ea pname and fb = find eb pname in
+          let calls =
+            (match fa with Some e -> e.calls | None -> 0)
+            + (match fb with Some e -> e.calls | None -> 0)
+          in
+          let site, kind =
+            match (fa, fb) with
+            | Some e, _ -> (e.site, e.kind)
+            | None, Some e -> (e.site, e.kind)
+            | None, None -> assert false
+          in
+          (match (fa, fb) with
+          | Some a, Some b when a.is_backedge <> b.is_backedge ->
+              invalid_arg
+                (Printf.sprintf
+                   "Cct.merge: %s -> %s is a backedge in one tree and a \
+                    tree edge in the other"
+                   rn.node_proc pname)
+          | _ -> ());
+          let is_backedge =
+            (match fa with Some e -> e.is_backedge | None -> false)
+            || match fb with Some e -> e.is_backedge | None -> false
+          in
+          if is_backedge then begin
+            (* The target is the (unique) ancestor running [pname]; it was
+               already created, since ancestors precede descendants. *)
+            match find_ancestor (Some rn) pname with
+            | Some target ->
+                rn.slots.(idx) <-
+                  { site; target; is_backedge = true; kind; calls }
+                  :: rn.slots.(idx)
+            | None ->
+                invalid_arg
+                  (Printf.sprintf
+                     "Cct.merge: backedge %s -> %s has no ancestor target"
+                     rn.node_proc pname)
+          end
+          else begin
+            let ca = Option.map (fun e -> e.target) fa
+            and cb = Option.map (fun e -> e.target) fb in
+            let nsites =
+              match (ca, cb) with
+              | Some a, Some b ->
+                  if a.node_nsites <> b.node_nsites then
+                    invalid_arg
+                      (Printf.sprintf
+                         "Cct.merge: %s has %d sites in one tree, %d in the \
+                          other"
+                         pname a.node_nsites b.node_nsites);
+                  a.node_nsites
+              | Some a, None -> a.node_nsites
+              | None, Some b -> b.node_nsites
+              | None, None -> assert false
+            in
+            let child =
+              {
+                node_proc = pname;
+                node_nsites = nsites;
+                node_parent = Some rn;
+                node_depth = rn.node_depth + 1;
+                node_id = t.n_nodes;
+                node_data =
+                  merge_data
+                    (Option.map (fun n -> n.node_data) ca)
+                    (Option.map (fun n -> n.node_data) cb);
+                slots =
+                  Array.make
+                    (if t.merge_call_sites then 1 else max 1 nsites)
+                    [];
+              }
+            in
+            t.nodes_rev <- child :: t.nodes_rev;
+            t.n_nodes <- t.n_nodes + 1;
+            rn.slots.(idx) <-
+              { site; target = child; is_backedge = false; kind; calls }
+              :: rn.slots.(idx);
+            go ca cb child
+          end)
+        union
+    done
+  in
+  go (Some ta.root_node) (Some tb.root_node) root;
+  t
 
 let check_invariants t =
   let fail fmt = Format.kasprintf invalid_arg fmt in

@@ -137,6 +137,30 @@ val graft_edge :
   calls:int ->
   unit
 
+(** {2 Merging}
+
+    Shards of a run — separate processes profiling the same program — each
+    build their own CCT; [merge] combines two into the tree a single serial
+    run over the concatenated event streams would have built. *)
+
+(** [merge ~merge_data a b] is the structural union of the two trees: call
+    records are identified by their calling context (per callee slot, edges
+    are keyed by the callee procedure, exactly as {!enter} looks them up —
+    so merged-call-site trees unify on the single collapsed slot), edge
+    traversal counts are summed, and a recursion backedge in either input
+    becomes a backedge to the corresponding ancestor of the result.  Client
+    data is combined by [merge_data], called with the data of whichever
+    input trees have the record ([None] when only one shard reached that
+    context); it must copy mutable payloads, since the result must not alias
+    the inputs.  Edge order within a slot is [a]'s first-use order followed
+    by records only [b] has, so merging shards that partition one serial
+    event stream reproduces the serial first-use order.
+    @raise Invalid_argument if the trees disagree on [merge_call_sites], on
+    a procedure's site count, or on an edge's backedge-ness (the shards
+    came from different programs). *)
+val merge :
+  merge_data:('a option -> 'a option -> 'a) -> 'a t -> 'a t -> 'a t
+
 (** Structural invariants, checked by the test suite:
     no procedure repeats along any root-to-leaf tree path; every backedge
     targets an ancestor; every non-root record is its parent's child.

@@ -22,6 +22,12 @@ type 'a codec = {
     (space-separated decimals). *)
 val metrics_codec : int array codec
 
+(** Whitespace/percent escaping for names embedded in space-separated
+    records (shared with {!Profile_io}'s format). *)
+val escape : string -> string
+
+val unescape : string -> string
+
 (** Unit payload (encodes to the empty string). *)
 val unit_codec : unit codec
 

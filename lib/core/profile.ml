@@ -22,6 +22,61 @@ let total_m1 = sum_over (fun m -> m.m1)
 
 let find_proc t name = List.find_opt (fun p -> p.proc = name) t.procs
 
+let empty ~pic0 ~pic1 = { pic0; pic1; procs = [] }
+
+let add_metrics (a : path_metrics) (b : path_metrics) =
+  { freq = a.freq + b.freq; m0 = a.m0 + b.m0; m1 = a.m1 + b.m1 }
+
+(* Sum two path tables of the same procedure; output sorted by path sum. *)
+let merge_paths pa pb =
+  let table = Hashtbl.create 16 in
+  let feed =
+    List.iter (fun (sum, m) ->
+        let cur =
+          Option.value ~default:{ freq = 0; m0 = 0; m1 = 0 }
+            (Hashtbl.find_opt table sum)
+        in
+        Hashtbl.replace table sum (add_metrics cur m))
+  in
+  feed pa;
+  feed pb;
+  Hashtbl.fold (fun sum m acc -> (sum, m) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let merge_proc (a : proc_profile) (b : proc_profile) =
+  if Ball_larus.num_paths a.numbering <> Ball_larus.num_paths b.numbering
+  then
+    invalid_arg
+      (Printf.sprintf
+         "Profile.merge: %s numbered with %d paths in one shard, %d in the \
+          other"
+         a.proc
+         (Ball_larus.num_paths a.numbering)
+         (Ball_larus.num_paths b.numbering));
+  { a with paths = merge_paths a.paths b.paths }
+
+let merge a b =
+  if a.pic0 <> b.pic0 || a.pic1 <> b.pic1 then
+    invalid_arg
+      (Printf.sprintf "Profile.merge: PIC selections differ (%s/%s vs %s/%s)"
+         (Event.name a.pic0) (Event.name a.pic1) (Event.name b.pic0)
+         (Event.name b.pic1));
+  let procs =
+    List.map
+      (fun (pa : proc_profile) ->
+        match List.find_opt (fun pb -> pb.proc = pa.proc) b.procs with
+        | Some pb -> merge_proc pa pb
+        | None -> { pa with paths = merge_paths pa.paths [] })
+      a.procs
+    @ List.filter_map
+        (fun (pb : proc_profile) ->
+          if List.exists (fun pa -> pa.proc = pb.proc) a.procs then None
+          else Some { pb with paths = merge_paths pb.paths [] })
+        b.procs
+    |> List.sort (fun pa pb -> compare pa.proc pb.proc)
+  in
+  { pic0 = a.pic0; pic1 = a.pic1; procs }
+
 let decode p sum = Ball_larus.decode p.numbering sum
 
 let ranked_paths p =

@@ -24,6 +24,19 @@ val total_m1 : t -> int
 
 val find_proc : t -> string -> proc_profile option
 
+(** The identity of {!merge}: no procedures, no paths. *)
+val empty : pic0:Event.t -> pic1:Event.t -> t
+
+(** [merge a b] sums the two profiles: the union of their procedures, each
+    path's frequency and metric accumulators added per path sum.  The result
+    is canonical — procedures sorted by name, paths by path sum — so merge is
+    commutative and associative up to that order, with {!empty} as identity.
+    Numbering is taken from the first operand that profiles the procedure.
+    @raise Invalid_argument if the PIC selections differ, or if a procedure
+    is numbered with a different path count in the two profiles (the shards
+    came from different programs). *)
+val merge : t -> t -> t
+
 (** Decode a path sum of a profiled procedure. *)
 val decode : proc_profile -> int -> Ball_larus.path
 

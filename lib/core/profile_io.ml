@@ -1,0 +1,226 @@
+module Event = Pp_machine.Event
+module Diag = Pp_ir.Diag
+
+type saved = {
+  program_hash : string;
+  mode : string;
+  pic0 : Event.t;
+  pic1 : Event.t;
+  procs : (string * int * (int * Profile.path_metrics) list) list;
+}
+
+let program_hash prog = Digest.to_hex (Digest.string (Marshal.to_string prog []))
+
+let sort_paths paths = List.sort (fun (a, _) (b, _) -> compare a b) paths
+
+let canonical s =
+  {
+    s with
+    procs =
+      List.map (fun (p, n, paths) -> (p, n, sort_paths paths)) s.procs
+      |> List.sort (fun (a, _, _) (b, _, _) -> compare a b);
+  }
+
+let of_profile ~program_hash ~mode (p : Profile.t) =
+  canonical
+    {
+      program_hash;
+      mode;
+      pic0 = p.Profile.pic0;
+      pic1 = p.Profile.pic1;
+      procs =
+        List.map
+          (fun (pp : Profile.proc_profile) ->
+            ( pp.Profile.proc,
+              Ball_larus.num_paths pp.Profile.numbering,
+              pp.Profile.paths ))
+          p.Profile.procs;
+    }
+
+let totals s =
+  List.fold_left
+    (fun acc (_, _, paths) ->
+      List.fold_left
+        (fun (f, a, b) (_, (m : Profile.path_metrics)) ->
+          (f + m.Profile.freq, a + m.Profile.m0, b + m.Profile.m1))
+        acc paths)
+    (0, 0, 0) s.procs
+
+(* The merge operations below report shard mismatches as structured
+   diagnostics (the same Diag type `pp check` emits), located at the
+   offending procedure — or the pseudo-procedure "<header>" for
+   whole-profile disagreements. *)
+
+let header_error fmt = Diag.error (Diag.proc_loc "<header>") fmt
+
+let merge a b =
+  if a.program_hash <> b.program_hash then
+    Error
+      (header_error "program hash mismatch: %s vs %s (shards of different \
+                     binaries cannot be summed)"
+         a.program_hash b.program_hash)
+  else if a.mode <> b.mode then
+    Error
+      (header_error "instrumentation mode mismatch: %s vs %s" a.mode b.mode)
+  else if a.pic0 <> b.pic0 || a.pic1 <> b.pic1 then
+    Error
+      (header_error "PIC selection mismatch: %s/%s vs %s/%s"
+         (Event.name a.pic0) (Event.name a.pic1) (Event.name b.pic0)
+         (Event.name b.pic1))
+  else begin
+    let conflict = ref None in
+    let add_paths table =
+      List.iter (fun (sum, (m : Profile.path_metrics)) ->
+          let cur =
+            Option.value
+              ~default:{ Profile.freq = 0; m0 = 0; m1 = 0 }
+              (Hashtbl.find_opt table sum)
+          in
+          Hashtbl.replace table sum
+            {
+              Profile.freq = cur.Profile.freq + m.Profile.freq;
+              m0 = cur.Profile.m0 + m.Profile.m0;
+              m1 = cur.Profile.m1 + m.Profile.m1;
+            })
+    in
+    let merged_proc (name, na, pa) =
+      match List.find_opt (fun (n, _, _) -> n = name) b.procs with
+      | Some (_, nb, _) when na <> nb ->
+          conflict :=
+            Some
+              (Diag.error (Diag.proc_loc name)
+                 "numbered with %d potential paths in one shard, %d in the \
+                  other"
+                 na nb);
+          (name, na, pa)
+      | Some (_, _, pb) ->
+          let table = Hashtbl.create 32 in
+          add_paths table pa;
+          add_paths table pb;
+          ( name,
+            na,
+            Hashtbl.fold (fun sum m acc -> (sum, m) :: acc) table []
+            |> sort_paths )
+      | None -> (name, na, pa)
+    in
+    let a_names = List.map (fun (n, _, _) -> n) a.procs in
+    let procs =
+      List.map merged_proc a.procs
+      @ List.filter (fun (n, _, _) -> not (List.mem n a_names)) b.procs
+    in
+    match !conflict with
+    | Some d -> Error d
+    | None -> Ok (canonical { a with procs })
+  end
+
+let merge_all = function
+  | [] -> Error (header_error "no profiles to merge")
+  | s :: rest ->
+      List.fold_left
+        (fun acc next ->
+          match acc with Error _ -> acc | Ok s -> merge s next)
+        (Ok (canonical s)) rest
+
+(* --- serialization ---
+
+   profile 1 <hash> <mode> <pic0> <pic1>
+   proc <name-escaped> <num-potential-paths>
+   path <sum> <freq> <m0> <m1>
+
+   A proc record opens a section; its path records follow. *)
+
+let to_string s =
+  let s = canonical s in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "profile 1 %s %s %s %s\n" s.program_hash
+       (Cct_io.escape s.mode)
+       (Cct_io.escape (Event.name s.pic0))
+       (Cct_io.escape (Event.name s.pic1)));
+  List.iter
+    (fun (name, npaths, paths) ->
+      Buffer.add_string buf
+        (Printf.sprintf "proc %s %d\n" (Cct_io.escape name) npaths);
+      List.iter
+        (fun (sum, (m : Profile.path_metrics)) ->
+          Buffer.add_string buf
+            (Printf.sprintf "path %d %d %d %d\n" sum m.Profile.freq
+               m.Profile.m0 m.Profile.m1))
+        paths)
+    s.procs;
+  Buffer.contents buf
+
+exception Parse_error of int * string
+
+let fail line fmt =
+  Format.kasprintf (fun s -> raise (Parse_error (line, s))) fmt
+
+let of_string text =
+  let header = ref None in
+  let procs = ref [] in  (* (name, npaths, paths_rev) list, reversed *)
+  let event lineno s =
+    match Event.of_name (Cct_io.unescape s) with
+    | Some e -> e
+    | None -> fail lineno "unknown event %S" s
+  in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line = String.trim line in
+      if line <> "" then
+        match String.split_on_char ' ' line with
+        | [ "profile"; "1"; hash; mode; pic0; pic1 ] ->
+            if !header <> None then fail lineno "duplicate header";
+            header :=
+              Some
+                ( hash,
+                  Cct_io.unescape mode,
+                  event lineno pic0,
+                  event lineno pic1 )
+        | [ "proc"; name; npaths ] ->
+            if !header = None then fail lineno "proc before header";
+            let npaths =
+              try int_of_string npaths
+              with Failure _ -> fail lineno "bad path count %S" npaths
+            in
+            procs := (Cct_io.unescape name, npaths, ref []) :: !procs
+        | [ "path"; sum; freq; m0; m1 ] -> (
+            let num s =
+              try int_of_string s with Failure _ -> fail lineno "bad int %S" s
+            in
+            match !procs with
+            | [] -> fail lineno "path before proc"
+            | (_, _, paths) :: _ ->
+                paths :=
+                  ( num sum,
+                    { Profile.freq = num freq; m0 = num m0; m1 = num m1 } )
+                  :: !paths)
+        | word :: _ -> fail lineno "unknown record %S" word
+        | [] -> ())
+    (String.split_on_char '\n' text);
+  match !header with
+  | None -> raise (Parse_error (0, "empty or headerless input"))
+  | Some (program_hash, mode, pic0, pic1) ->
+      canonical
+        {
+          program_hash;
+          mode;
+          pic0;
+          pic1;
+          procs =
+            List.rev_map
+              (fun (name, npaths, paths) -> (name, npaths, List.rev !paths))
+              !procs;
+        }
+
+let to_file path s =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string s))
+
+let of_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,62 @@
+(** Persistent, mergeable path profiles.
+
+    A sharded run matrix — the same program profiled in many processes, as
+    D'Elia & Demetrescu's multi-iteration Ball–Larus profiler and
+    counter-based PGO pipelines do — writes one profile file per shard and
+    sums them afterwards.  This module is that on-disk layer: a saved
+    profile carries the program's digest and the instrumentation mode, and
+    {!merge} refuses to sum shards that disagree on either, reporting the
+    mismatch as a structured {!Pp_ir.Diag.t} rather than silently producing
+    a chimera.
+
+    The format, line-oriented like {!Cct_io}'s:
+    {v
+    profile 1 <program-hash> <mode> <pic0> <pic1>
+    proc <name-escaped> <num-potential-paths>
+    path <sum> <freq> <m0> <m1>
+    v} *)
+
+module Event = Pp_machine.Event
+
+type saved = {
+  program_hash : string;
+  mode : string;  (** {!Pp_instrument.Instrument.mode_name} of the run *)
+  pic0 : Event.t;
+  pic1 : Event.t;
+  procs : (string * int * (int * Profile.path_metrics) list) list;
+      (** procedure, potential-path count, executed paths by path sum *)
+}
+
+(** Digest of a program's structure; shards of the same binary agree. *)
+val program_hash : Pp_ir.Program.t -> string
+
+(** Strip the numbering from an in-memory profile (path sums alone suffice
+    to merge; decoding needs the program anyway). *)
+val of_profile : program_hash:string -> mode:string -> Profile.t -> saved
+
+(** Canonical form: procedures sorted by name, paths by path sum.  All
+    functions below return canonical values; [merge] is commutative and
+    associative on them. *)
+val canonical : saved -> saved
+
+(** Total frequency and metric accumulators over all paths. *)
+val totals : saved -> int * int * int
+
+(** Sum two shards.  [Error d] (with [d] located at the offending procedure
+    or at ["<header>"]) if the program hashes, modes, PIC selections or a
+    procedure's potential-path counts disagree. *)
+val merge : saved -> saved -> (saved, Pp_ir.Diag.t) result
+
+(** Fold {!merge} over a non-empty list. *)
+val merge_all : saved list -> (saved, Pp_ir.Diag.t) result
+
+val to_string : saved -> string
+val to_file : string -> saved -> unit
+
+exception Parse_error of int * string
+(** Line number and message. *)
+
+(** @raise Parse_error *)
+val of_string : string -> saved
+
+val of_file : string -> saved

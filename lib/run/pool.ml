@@ -1,0 +1,142 @@
+type 'a outcome =
+  | Done of 'a
+  | Crashed of string
+  | Timed_out of float
+
+type job = {
+  index : int;
+  pid : int;
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  deadline : float option;
+}
+
+let chunk = Bytes.create 65536
+
+(* One worker: fork, evaluate, marshal the result (or the exception's
+   rendering) back over a pipe, exit without running at_exit handlers. *)
+let spawn ~index ~deadline f x =
+  let rd, wr = Unix.pipe ~cloexec:false () in
+  match Unix.fork () with
+  | 0 ->
+      Unix.close rd;
+      let payload =
+        match f x with
+        | v -> Ok v
+        | exception e -> Error (Printexc.to_string e)
+      in
+      let bytes = Marshal.to_bytes payload [] in
+      let oc = Unix.out_channel_of_descr wr in
+      output_bytes oc bytes;
+      flush oc;
+      (* _exit semantics: skip at_exit/flushing of inherited channels, which
+         would duplicate the parent's buffered output. *)
+      Unix._exit 0
+  | pid ->
+      Unix.close wr;
+      { index; pid; fd = rd; buf = Buffer.create 1024; deadline }
+
+let finish job results status =
+  Unix.close job.fd;
+  (match status with
+  | Unix.WEXITED 0 when Buffer.length job.buf > 0 -> (
+      match Marshal.from_bytes (Buffer.to_bytes job.buf) 0 with
+      | Ok v -> results.(job.index) <- Some (Done v)
+      | Error msg -> results.(job.index) <- Some (Crashed msg)
+      | exception _ ->
+          results.(job.index) <- Some (Crashed "worker sent a torn result"))
+  | Unix.WEXITED 0 ->
+      results.(job.index) <- Some (Crashed "worker exited without a result")
+  | Unix.WEXITED n ->
+      results.(job.index) <- Some (Crashed (Printf.sprintf "exit code %d" n))
+  | Unix.WSIGNALED s ->
+      results.(job.index) <- Some (Crashed (Printf.sprintf "killed by signal %d" s))
+  | Unix.WSTOPPED s ->
+      results.(job.index) <- Some (Crashed (Printf.sprintf "stopped by signal %d" s)))
+
+let kill_and_reap job results elapsed =
+  (try Unix.kill job.pid Sys.sigkill with Unix.Unix_error _ -> ());
+  ignore (Unix.waitpid [] job.pid);
+  Unix.close job.fd;
+  results.(job.index) <- Some (Timed_out elapsed)
+
+let map_forked ~jobs ~timeout f xs =
+  let tasks = Array.of_list xs in
+  let n = Array.length tasks in
+  let results = Array.make n None in
+  let next = ref 0 in
+  let live = ref [] in
+  let now () = Unix.gettimeofday () in
+  let start = Array.make n 0.0 in
+  while !next < n || !live <> [] do
+    (* Fill free slots. *)
+    while !next < n && List.length !live < jobs do
+      let i = !next in
+      incr next;
+      start.(i) <- now ();
+      let deadline = Option.map (fun t -> start.(i) +. t) timeout in
+      live := spawn ~index:i ~deadline f tasks.(i) :: !live
+    done;
+    (* Wait for output or the earliest deadline. *)
+    let select_timeout =
+      List.fold_left
+        (fun acc job ->
+          match job.deadline with
+          | None -> acc
+          | Some d ->
+              let remaining = Float.max 0.0 (d -. now ()) in
+              if acc < 0.0 then remaining else Float.min acc remaining)
+        (-1.0) !live
+    in
+    let fds = List.map (fun j -> j.fd) !live in
+    let readable, _, _ =
+      try Unix.select fds [] [] select_timeout
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    let still_live = ref [] in
+    List.iter
+      (fun job ->
+        if List.mem job.fd readable then begin
+          let k = Unix.read job.fd chunk 0 (Bytes.length chunk) in
+          if k > 0 then begin
+            Buffer.add_subbytes job.buf chunk 0 k;
+            still_live := job :: !still_live
+          end
+          else begin
+            (* EOF: worker finished (or died); reap it. *)
+            let _, status = Unix.waitpid [] job.pid in
+            finish job results status
+          end
+        end
+        else
+          match job.deadline with
+          | Some d when now () >= d ->
+              kill_and_reap job results (now () -. start.(job.index))
+          | _ -> still_live := job :: !still_live)
+      !live;
+    live := List.rev !still_live
+  done;
+  Array.to_list (Array.map Option.get results)
+
+let map_inline f xs =
+  List.map
+    (fun x ->
+      match f x with
+      | v -> Done v
+      | exception e -> Crashed (Printexc.to_string e))
+    xs
+
+let can_fork =
+  (* Unix.fork is unavailable on Windows; degrade to in-process there. *)
+  not Sys.win32
+
+let map ?(jobs = 1) ?timeout f xs =
+  if jobs <= 1 || not can_fork then map_inline f xs
+  else map_forked ~jobs ~timeout f xs
+
+let outcome_ok = function Done v -> Some v | Crashed _ | Timed_out _ -> None
+
+let describe = function
+  | Done _ -> "ok"
+  | Crashed msg -> "crashed: " ^ msg
+  | Timed_out t -> Printf.sprintf "timed out after %.1fs" t

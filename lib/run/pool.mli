@@ -1,0 +1,31 @@
+(** A process pool for the run matrix.
+
+    Each task runs in a forked child; the child marshals its result back
+    over a pipe and exits.  A crashing or diverging workload therefore takes
+    down only its own shard: the parent reports the loss and the rest of the
+    matrix completes.  Results come back in task order regardless of
+    completion order, which is what makes parallel reports byte-identical to
+    serial ones. *)
+
+type 'a outcome =
+  | Done of 'a
+  | Crashed of string
+      (** the task raised (rendered exception), exited nonzero, or died on a
+          signal *)
+  | Timed_out of float  (** killed after running this many seconds *)
+
+(** [map ~jobs ~timeout f xs] evaluates [f] over [xs] with at most [jobs]
+    concurrent workers, returning outcomes in input order.
+
+    With [jobs <= 1] — or on platforms without [Unix.fork] — tasks run
+    in-process (exceptions still isolate as [Crashed], but [timeout] is not
+    enforced: there is no process to kill).  Results must be marshalable
+    (no closures); a torn or unreadable result is reported as [Crashed],
+    never silently dropped. *)
+val map : ?jobs:int -> ?timeout:float -> ('a -> 'b) -> 'a list -> 'b outcome list
+
+(** [Some v] for [Done v]. *)
+val outcome_ok : 'a outcome -> 'a option
+
+(** Human-readable status, e.g. ["crashed: Stack_overflow"]. *)
+val describe : _ outcome -> string

@@ -24,4 +24,6 @@ let () =
       ("dataflow", Test_dataflow.suite);
       ("check", Test_check.suite);
       ("mutation", Test_mutation.suite);
+      ("merge", Test_merge.suite);
+      ("parallel", Test_parallel.suite);
     ]

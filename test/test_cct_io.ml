@@ -58,6 +58,54 @@ let test_roundtrip_recursive () =
   Alcotest.(check bool) "backedge preserved" true
     (structure cct = structure cct')
 
+let test_roundtrip_merged () =
+  (* A merged-call-site tree: one collapsed slot per record, so several
+     callees share slot 0 — the reload must keep the flag (or later
+     enters would index per-site slots that don't exist) and the edge
+     order within the shared slot. *)
+  let cct =
+    Cct.create ~merge_call_sites:true
+      ~make_data:(fun ~proc:_ ~nsites:_ -> [| 0; 0 |])
+      ()
+  in
+  List.iter
+    (fun (proc, site) ->
+      ignore (Cct.enter cct ~proc ~nsites:3 ~site ~kind:Cct.Direct);
+      Cct.exit cct)
+    [ ("A", 0); ("B", 2); ("C", 1) ];
+  let text = Cct_io.to_string ~codec:Cct_io.metrics_codec cct in
+  let cct' = Cct_io.of_string ~codec:Cct_io.metrics_codec text in
+  Cct.check_invariants cct';
+  Alcotest.(check bool) "merged flag survives" true (Cct.merged cct');
+  Alcotest.(check bool) "identical structure" true
+    (structure cct = structure cct');
+  (* The reload accepts further calls through the collapsed slot. *)
+  ignore (Cct.enter cct' ~proc:"D" ~nsites:5 ~site:4 ~kind:Cct.Direct)
+
+let test_roundtrip_multi_edge_slot () =
+  (* An indirect call site reaching several callees gives one slot a list
+     of edges (Figure 7); serialisation must preserve their first-use
+     order through repeated round trips. *)
+  let cct =
+    Cct.create ~make_data:(fun ~proc:_ ~nsites:_ -> [| 0; 0 |]) ()
+  in
+  let m = Cct.enter cct ~proc:"M" ~nsites:1 ~site:0 ~kind:Cct.Direct in
+  ignore m;
+  List.iter
+    (fun callee ->
+      ignore
+        (Cct.enter cct ~proc:callee ~nsites:0 ~site:0 ~kind:Cct.Indirect);
+      Cct.exit cct)
+    [ "f1"; "f2"; "f3"; "f2" ];
+  Cct.unwind_to_depth cct 0;
+  let text = Cct_io.to_string ~codec:Cct_io.metrics_codec cct in
+  let cct' = Cct_io.of_string ~codec:Cct_io.metrics_codec text in
+  Cct.check_invariants cct';
+  Alcotest.(check bool) "identical structure" true
+    (structure cct = structure cct');
+  Alcotest.(check string) "stable fixpoint" text
+    (Cct_io.to_string ~codec:Cct_io.metrics_codec cct')
+
 let test_file_roundtrip () =
   let cct = build_sample () in
   let path = Filename.temp_file "cct" ".txt" in
@@ -145,6 +193,10 @@ let suite =
     Alcotest.test_case "roundtrip" `Quick test_roundtrip;
     Alcotest.test_case "roundtrip with recursion" `Quick
       test_roundtrip_recursive;
+    Alcotest.test_case "roundtrip with merged call sites" `Quick
+      test_roundtrip_merged;
+    Alcotest.test_case "roundtrip with a multi-edge slot" `Quick
+      test_roundtrip_multi_edge_slot;
     Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
     Alcotest.test_case "escaped names" `Quick test_escaped_names;
     Alcotest.test_case "parse errors" `Quick test_parse_errors;

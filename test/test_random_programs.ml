@@ -9,6 +9,11 @@
 module Instrument = Pp_instrument.Instrument
 module Driver = Pp_instrument.Driver
 module Interp = Pp_vm.Interp
+module Profile = Pp_core.Profile
+module Profile_io = Pp_core.Profile_io
+module Edge_profile = Pp_core.Edge_profile
+module Cct = Pp_core.Cct
+module Runtime = Pp_vm.Runtime
 
 type gen_state = {
   rng : Random.State.t;
@@ -201,8 +206,272 @@ let prop_strategies_agree =
             Instrument.optimize_placement = true };
         ])
 
+(* {2 Shard-split-equals-whole}
+
+   The merge laws on real artifacts: split a run's profile (or CCT, or
+   chord counters) into k shards, merge them back, and require the whole.
+   Together the three properties cover all five instrumentation modes. *)
+
+let compile seed = Pp_minic.Compile.program ~name:"gen" (gen_program seed)
+
+(* [v] as [k] non-negative parts (random cuts; the exact distribution is
+   irrelevant, only the sum). *)
+let split_int rng k v =
+  let parts = Array.make k 0 in
+  let rem = ref v in
+  for i = 0 to k - 2 do
+    let x = Random.State.int rng (!rem + 1) in
+    parts.(i) <- x;
+    rem := !rem - x
+  done;
+  parts.(k - 1) <- !rem;
+  parts
+
+let prop_shard_profiles =
+  QCheck.Test.make
+    ~name:"random programs: sharded path profiles merge to the whole"
+    ~count:6
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let prog = compile seed in
+      let rng = Random.State.make [| seed; 31 |] in
+      let k = 2 + Random.State.int rng 2 in
+      List.for_all
+        (fun mode ->
+          let s = Driver.prepare ~max_instructions:400_000_000 ~mode prog in
+          ignore (Driver.run s);
+          let whole =
+            Profile_io.of_profile
+              ~program_hash:(Profile_io.program_hash prog)
+              ~mode:(Instrument.mode_name mode)
+              (Driver.path_profile s)
+          in
+          (* Split every accumulator of every path into k parts; shards
+             past the first drop paths they saw nothing of. *)
+          let tables =
+            List.map
+              (fun (name, np, paths) ->
+                ( name,
+                  np,
+                  List.map
+                    (fun (sum, (m : Profile.path_metrics)) ->
+                      ( sum,
+                        split_int rng k m.Profile.freq,
+                        split_int rng k m.Profile.m0,
+                        split_int rng k m.Profile.m1 ))
+                    paths ))
+              whole.Profile_io.procs
+          in
+          let shard i =
+            {
+              whole with
+              Profile_io.procs =
+                List.map
+                  (fun (name, np, paths) ->
+                    ( name,
+                      np,
+                      List.filter_map
+                        (fun (sum, fs, m0s, m1s) ->
+                          let m =
+                            {
+                              Profile.freq = fs.(i);
+                              m0 = m0s.(i);
+                              m1 = m1s.(i);
+                            }
+                          in
+                          if
+                            i > 0 && m.Profile.freq = 0 && m.Profile.m0 = 0
+                            && m.Profile.m1 = 0
+                          then None
+                          else Some (sum, m))
+                        paths ))
+                  tables;
+            }
+          in
+          match Profile_io.merge_all (List.init k shard) with
+          | Error _ -> false
+          | Ok merged -> merged = Profile_io.canonical whole)
+        [ Instrument.Flow_freq; Instrument.Flow_hw; Instrument.Context_flow ])
+
+(* Per-record payload for CCT sharding: metric counters plus the path
+   table, as plain immutable data so shapes compare with (=). *)
+type pay = { pm : int list; ppt : (int * int) list }
+
+let pay_of (d : Runtime.record_data) =
+  {
+    pm = Array.to_list d.Runtime.metrics;
+    ppt =
+      Hashtbl.fold (fun s c acc -> (s, !c) :: acc) d.Runtime.paths []
+      |> List.sort compare;
+  }
+
+let rec sum_pt a b =
+  match (a, b) with
+  | [], r | r, [] -> r
+  | (ka, va) :: ta, (kb, vb) :: tb ->
+      if ka < kb then (ka, va) :: sum_pt ta b
+      else if kb < ka then (kb, vb) :: sum_pt a tb
+      else (ka, va + vb) :: sum_pt ta tb
+
+let sum_pay a b =
+  match (a, b) with
+  | Some x, Some y ->
+      { pm = List.map2 ( + ) x.pm y.pm; ppt = sum_pt x.ppt y.ppt }
+  | Some x, None | None, Some x -> x
+  | None, None -> { pm = []; ppt = [] }
+
+(* Rebuild [src] with fresh per-node data and per-edge call counts (the
+   graft API reproduces structure exactly, ids in allocation order). *)
+let clone ~data ~calls src =
+  let t =
+    Cct.create
+      ~merge_call_sites:(Cct.merged src)
+      ~make_data:(fun ~proc:_ ~nsites:_ -> data (Cct.root src))
+      ()
+  in
+  let map = Hashtbl.create 64 in
+  Hashtbl.replace map 0 (Cct.root t);
+  Cct.iter
+    (fun n ->
+      match Cct.parent n with
+      | None -> ()
+      | Some p ->
+          let n' =
+            Cct.graft_node t
+              ~parent:(Hashtbl.find map (Cct.id p))
+              ~proc:(Cct.proc n) ~nsites:(Cct.nsites n) ~data:(data n)
+          in
+          Hashtbl.replace map (Cct.id n) n')
+    src;
+  Cct.iter
+    (fun n ->
+      List.iter
+        (fun (e : _ Cct.edge) ->
+          Cct.graft_edge t
+            ~from_:(Hashtbl.find map (Cct.id n))
+            ~site:e.Cct.site
+            ~target:(Hashtbl.find map (Cct.id e.Cct.target))
+            ~is_backedge:e.Cct.is_backedge ~kind:e.Cct.kind ~calls:(calls n e))
+        (Cct.edges n))
+    src;
+  t
+
+type shape =
+  | Node of string * pay * (int * bool * int * shape) list
+  | Back of string
+
+let rec shape n =
+  Node
+    ( Cct.proc n,
+      Cct.data n,
+      List.map
+        (fun (e : _ Cct.edge) ->
+          ( e.Cct.site,
+            e.Cct.is_backedge,
+            e.Cct.calls,
+            if e.Cct.is_backedge then Back (Cct.proc e.Cct.target)
+            else shape e.Cct.target ))
+        (Cct.edges n) )
+
+let prop_shard_ccts =
+  QCheck.Test.make
+    ~name:"random programs: sharded CCTs merge to the whole" ~count:5
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let prog = compile seed in
+      let rng = Random.State.make [| seed; 37 |] in
+      let k = 2 + Random.State.int rng 2 in
+      List.for_all
+        (fun mode ->
+          let s = Driver.prepare ~max_instructions:400_000_000 ~mode prog in
+          ignore (Driver.run s);
+          let cct = Driver.cct s in
+          let whole = clone ~data:(fun n -> pay_of (Cct.data n))
+              ~calls:(fun _ e -> e.Cct.calls) cct
+          in
+          (* Consistent k-way splits of every counter, keyed off the
+             source tree's node ids and edges. *)
+          let node_split = Hashtbl.create 64 in
+          Cct.iter
+            (fun n ->
+              let p = pay_of (Cct.data n) in
+              Hashtbl.replace node_split (Cct.id n)
+                ( List.map (split_int rng k) p.pm,
+                  List.map (fun (s, c) -> (s, split_int rng k c)) p.ppt ))
+            cct;
+          let edge_split = Hashtbl.create 64 in
+          Cct.iter
+            (fun n ->
+              List.iter
+                (fun (e : _ Cct.edge) ->
+                  Hashtbl.replace edge_split
+                    (Cct.id n, e.Cct.site, Cct.id e.Cct.target)
+                    (split_int rng k e.Cct.calls))
+                (Cct.edges n))
+            cct;
+          let shard i =
+            clone
+              ~data:(fun n ->
+                let ms, pts = Hashtbl.find node_split (Cct.id n) in
+                {
+                  pm = List.map (fun parts -> parts.(i)) ms;
+                  ppt = List.map (fun (s, parts) -> (s, parts.(i))) pts;
+                })
+              ~calls:(fun n e ->
+                (Hashtbl.find edge_split
+                   (Cct.id n, e.Cct.site, Cct.id e.Cct.target)).(i))
+              cct
+          in
+          let merged =
+            List.fold_left
+              (Cct.merge ~merge_data:sum_pay)
+              (shard 0)
+              (List.init (k - 1) (fun i -> shard (i + 1)))
+          in
+          Cct.check_invariants merged;
+          Cct.num_nodes merged = Cct.num_nodes whole
+          && shape (Cct.root merged) = shape (Cct.root whole))
+        [ Instrument.Context_hw; Instrument.Context_flow ])
+
+let prop_shard_edge_counts =
+  QCheck.Test.make
+    ~name:"random programs: chord counter merge is linear under reconstruct"
+    ~count:6
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let prog = compile seed in
+      let rng = Random.State.make [| seed; 41 |] in
+      let s =
+        Driver.prepare ~max_instructions:400_000_000
+          ~mode:Instrument.Edge_freq prog
+      in
+      ignore (Driver.run s);
+      List.for_all
+        (fun (_, plan, _) ->
+          let n = Edge_profile.num_counters plan in
+          let vec () =
+            Array.init n (fun _ -> Random.State.int rng 20)
+          in
+          let a = vec () and b = vec () in
+          let merged =
+            Edge_profile.reconstruct plan
+              ~counts:(Edge_profile.merge_counts plan a b)
+          in
+          let ra = Edge_profile.reconstruct plan ~counts:a
+          and rb = Edge_profile.reconstruct plan ~counts:b in
+          merged
+          = List.map2
+              (fun (e, ca) (e', cb) ->
+                assert (e = e');
+                (e, ca + cb))
+              ra rb)
+        (Driver.edge_profile s))
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_modes_transparent;
     QCheck_alcotest.to_alcotest prop_strategies_agree;
+    QCheck_alcotest.to_alcotest prop_shard_profiles;
+    QCheck_alcotest.to_alcotest prop_shard_ccts;
+    QCheck_alcotest.to_alcotest prop_shard_edge_counts;
   ]
