@@ -37,6 +37,7 @@ let targets : (string * string * (unit -> unit)) list =
     ( "ablation_edge",
       "edge vs path profiling overhead (BL94)",
       Ablations.ablation_edge );
+    ("estimator", "static probe-cost estimates vs measured", Estimator.run);
     ("sampling", "stack sampling vs CCT (7.2)", Sampling.run);
     ("hall", "Hall iterative call-path profiling vs CCT (7.2)", Hall.run);
     ("micro", "bechamel micro-benchmarks", Micro.run);

@@ -96,6 +96,18 @@ let exit_err msg =
   Printf.eprintf "pp: %s\n" msg;
   exit 1
 
+(* Invalid arguments and structured diagnostics exit 2 (cmdliner reserves
+   124/125); operational failures exit 1. *)
+let exit_invalid d =
+  Printf.eprintf "pp: %s\n" (Diag.to_string d);
+  exit 2
+
+let require_positive ~flag v =
+  if v <= 0 then
+    exit_invalid
+      (Diag.error (Diag.proc_loc "<cli>") "--%s must be positive (got %d)"
+         flag v)
+
 (* --- pp run --- *)
 
 (* Sum per-event counters across shards (events in shard-0 order). *)
@@ -105,6 +117,8 @@ let merge_counters a b =
 let run_cmd =
   let doc = "Execute a program uninstrumented and report its counters." in
   let action file workload budget counters shards jobs =
+    require_positive ~flag:"shards" shards;
+    require_positive ~flag:"jobs" jobs;
     match load ~file ~workload with
     | Error msg -> exit_err msg
     | Ok prog when shards <= 1 -> (
@@ -273,9 +287,12 @@ let profile_cmd =
     match load ~file ~workload with
     | Error msg -> exit_err msg
     | Ok prog -> (
+        (* Feasibility pruning is always on for profiling sessions: the
+           numbering is unchanged, so this only shrinks simulated table
+           footprints and annotates saved shards. *)
         let session =
-          Driver.prepare ~max_instructions:budget ~pics:(pic0, pic1) ~mode
-            prog
+          Driver.prepare ~pruner:Pp_analysis.Feasibility.pruner
+            ~max_instructions:budget ~pics:(pic0, pic1) ~mode prog
         in
         match Driver.run session with
         | exception Interp.Trap msg -> exit_err ("trap: " ^ msg)
@@ -289,8 +306,18 @@ let profile_cmd =
                 match mode with
                 | Instrument.Flow_freq | Instrument.Flow_hw
                 | Instrument.Context_flow ->
+                    let feasible =
+                      List.filter_map
+                        (fun (info : Instrument.proc_info) ->
+                          Option.map
+                            (fun p ->
+                              ( info.Instrument.proc,
+                                Ball_larus.num_feasible p ))
+                            info.Instrument.pruned)
+                        session.Driver.manifest.Instrument.infos
+                    in
                     let saved =
-                      Profile_io.of_profile
+                      Profile_io.of_profile ~feasible
                         ~program_hash:(Profile_io.program_hash prog)
                         ~mode:(Instrument.mode_name mode)
                         (Driver.path_profile session)
@@ -387,9 +414,22 @@ let profile_cmd =
 
 (* --- pp paths --- *)
 
+let describe_verdict cfg = function
+  | Pp_analysis.Feasibility.Feasible -> "feasible"
+  | Pp_analysis.Feasibility.Infeasible_edge e ->
+      Printf.sprintf "crosses never-taken edge %s -> %s"
+        (Pp_ir.Cfg.vertex_name cfg e.Pp_graph.Digraph.src)
+        (Pp_ir.Cfg.vertex_name cfg e.Pp_graph.Digraph.dst)
+  | Pp_analysis.Feasibility.Infeasible_branch { block; value } ->
+      Printf.sprintf "contradicts constant branch at L%d (condition = %d)"
+        block value
+
 let paths_cmd =
-  let doc = "Static path-numbering report: potential paths per procedure." in
-  let action file workload dot_proc =
+  let doc =
+    "Static path-numbering report: potential (and statically feasible) \
+     paths per procedure."
+  in
+  let action file workload feasible table dot_proc =
     match load ~file ~workload with
     | Error msg -> exit_err msg
     | Ok prog ->
@@ -398,11 +438,53 @@ let paths_cmd =
             let cfg = Pp_ir.Cfg.of_proc p in
             match Ball_larus.build cfg with
             | bl ->
-                Printf.printf
-                  "%-20s blocks=%-4d backedges=%-3d potential paths=%d\n"
-                  p.Pp_ir.Proc.name (Pp_ir.Proc.num_blocks p)
-                  (List.length (Ball_larus.backedges bl))
-                  (Ball_larus.num_paths bl)
+                if feasible || table then begin
+                  let fs = Pp_analysis.Feasibility.analyze cfg bl in
+                  if Pp_analysis.Feasibility.enumerated fs then begin
+                    let nf = Pp_analysis.Feasibility.num_feasible fs in
+                    Printf.printf
+                      "%-20s blocks=%-4d backedges=%-3d potential \
+                       paths=%-6d feasible=%-6d pruned=%d\n"
+                      p.Pp_ir.Proc.name (Pp_ir.Proc.num_blocks p)
+                      (List.length (Ball_larus.backedges bl))
+                      (Ball_larus.num_paths bl) nf
+                      (Ball_larus.num_paths bl - nf);
+                    if table then
+                      List.iter
+                        (fun sum ->
+                          let v = Pp_analysis.Feasibility.check fs sum in
+                          Format.printf "  path %-5d %-10s %a@." sum
+                            (match v with
+                            | Pp_analysis.Feasibility.Feasible -> "feasible"
+                            | _ -> "infeasible")
+                            Ball_larus.pp_path (Ball_larus.decode bl sum);
+                          if v <> Pp_analysis.Feasibility.Feasible then
+                            Printf.printf "             (%s)\n"
+                              (describe_verdict cfg v))
+                        (List.init (Ball_larus.num_paths bl) Fun.id)
+                    else
+                      List.iter
+                        (fun sum ->
+                          Printf.printf "  infeasible path %d: %s\n" sum
+                            (describe_verdict cfg
+                               (Pp_analysis.Feasibility.check fs sum)))
+                        (Pp_analysis.Feasibility.infeasible_sums fs)
+                  end
+                  else
+                    Printf.printf
+                      "%-20s blocks=%-4d backedges=%-3d potential \
+                       paths=%-6d feasible=? (table too large to \
+                       enumerate)\n"
+                      p.Pp_ir.Proc.name (Pp_ir.Proc.num_blocks p)
+                      (List.length (Ball_larus.backedges bl))
+                      (Ball_larus.num_paths bl)
+                end
+                else
+                  Printf.printf
+                    "%-20s blocks=%-4d backedges=%-3d potential paths=%d\n"
+                    p.Pp_ir.Proc.name (Pp_ir.Proc.num_blocks p)
+                    (List.length (Ball_larus.backedges bl))
+                    (Ball_larus.num_paths bl)
             | exception Ball_larus.Unsupported msg ->
                 Printf.printf "%-20s unsupported: %s\n" p.Pp_ir.Proc.name msg)
           prog.Pp_ir.Program.procs;
@@ -426,6 +508,19 @@ let paths_cmd =
                        else string_of_int (Ball_larus.edge_val bl e))))
           dot_proc
   in
+  let feasible =
+    Arg.(value & flag
+         & info [ "feasible" ]
+             ~doc:"Run the static feasibility analysis and report \
+                   feasible/pruned path counts per procedure, with a \
+                   reason for every pruned path.")
+  in
+  let table =
+    Arg.(value & flag
+         & info [ "table" ]
+             ~doc:"Print the full path table: every path sum, its \
+                   feasibility verdict and its decoded block sequence.")
+  in
   let dot_proc =
     Arg.(value & opt (some string) None
          & info [ "dot" ] ~docv:"PROC"
@@ -433,7 +528,58 @@ let paths_cmd =
                    their Ball-Larus values.")
   in
   Cmd.v (Cmd.info "paths" ~doc)
-    Term.(const action $ file $ workload_opt $ dot_proc)
+    Term.(const action $ file $ workload_opt $ feasible $ table $ dot_proc)
+
+(* --- pp cost --- *)
+
+let cost_cmd =
+  let doc =
+    "Static instrumentation cost report: probe sites, code growth and \
+     estimated probe executions per procedure; with --profile, the \
+     estimated-vs-measured comparison against a dynamic profile."
+  in
+  let action file workload mode optimize profile =
+    match load ~file ~workload with
+    | Error msg -> exit_err msg
+    | Ok prog -> (
+        let profile =
+          Option.map
+            (fun path ->
+              try Profile_io.of_file path with
+              | Profile_io.Parse_error (line, msg) ->
+                  exit_err (Printf.sprintf "%s:%d: %s" path line msg)
+              | Sys_error msg -> exit_err msg)
+            profile
+        in
+        let options =
+          {
+            Instrument.default_options with
+            Instrument.optimize_placement = optimize;
+          }
+        in
+        match Pp_analysis.Cost.compute ~options ~mode ?profile prog with
+        | Error d -> exit_invalid d
+        | Ok report -> print_string (Pp_analysis.Cost.render report))
+  in
+  let mode =
+    Arg.(value & opt mode_conv Instrument.Flow_hw
+         & info [ "mode"; "m" ] ~docv:"MODE"
+             ~doc:"edge-freq, flow-freq, flow-hw, context-hw or \
+                   context-flow.")
+  in
+  let optimize =
+    Arg.(value & flag
+         & info [ "optimize-placement" ]
+             ~doc:"Cost the optimized (spanning-tree chord) placement.")
+  in
+  let profile =
+    Arg.(value & opt (some string) None
+         & info [ "profile" ] ~docv:"FILE"
+             ~doc:"A profile shard from 'pp profile --profile-out' to \
+                   compare estimates against (same program and mode).")
+  in
+  Cmd.v (Cmd.info "cost" ~doc)
+    Term.(const action $ file $ workload_opt $ mode $ optimize $ profile)
 
 (* --- pp disasm --- *)
 
@@ -599,6 +745,7 @@ let bench_cmd =
      report: byte-identical at any --jobs."
   in
   let action jobs timeout budget workloads modes =
+    require_positive ~flag:"jobs" jobs;
     (match workloads with
     | [] -> ()
     | ws ->
@@ -761,5 +908,5 @@ let () =
   in
   let info = Cmd.info "pp" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-                    [ run_cmd; profile_cmd; paths_cmd; disasm_cmd;
+                    [ run_cmd; profile_cmd; paths_cmd; cost_cmd; disasm_cmd;
                       check_cmd; bench_cmd; merge_cmd; workloads_cmd ]))

@@ -1,0 +1,57 @@
+(** Static path feasibility for Ball–Larus numberings.
+
+    Combines {!Constprop}'s never-executable edges with a per-path symbolic
+    replay that detects branch correlation: a path whose straight-line code
+    forces a later branch condition to a constant cannot take the other
+    arm.  Both checks over-approximate concrete execution, so a path judged
+    infeasible can never be observed dynamically — pruning it from the
+    numbering is sound (the soundness property test in
+    [test/test_feasibility.ml] exercises exactly this claim). *)
+
+type verdict =
+  | Feasible
+  | Infeasible_edge of Pp_graph.Digraph.edge
+      (** the path crosses a CFG edge constant propagation proved
+          never-executable *)
+  | Infeasible_branch of { block : Pp_ir.Block.label; value : int }
+      (** replay showed this block's branch condition is the constant
+          [value], contradicting the arm the path takes *)
+
+type t
+
+(** [analyze cfg bl] runs constant propagation once and, when
+    [Ball_larus.num_paths bl <= max_enumerate] (default 4096), classifies
+    every path sum up front; beyond that bound, per-sum queries are
+    answered lazily and no pruning is offered. *)
+val analyze : ?max_enumerate:int -> Pp_ir.Cfg.t -> Pp_core.Ball_larus.t -> t
+
+(** Whether the full path table was enumerated (a prerequisite for
+    {!prune}). *)
+val enumerated : t -> bool
+
+(** The underlying constant-propagation fixpoint. *)
+val constprop : t -> Constprop.t
+
+val check : t -> int -> verdict
+val feasible : t -> int -> bool
+
+(** Count of feasible sums; equals [num_paths] when not enumerated. *)
+val num_feasible : t -> int
+
+(** Ascending; empty when not enumerated. *)
+val infeasible_sums : t -> int list
+
+(** CFG edges proven never-executable, in edge-id order. *)
+val infeasible_edges : t -> Pp_graph.Digraph.edge list
+
+(** @raise Invalid_argument when not {!enumerated}. *)
+val prune : t -> Pp_core.Ball_larus.pruned
+
+(** One-shot convenience with the signature {!Pp_instrument.Instrument.run}
+    expects for its [?pruner] argument; [None] when the path table is too
+    large to enumerate. *)
+val pruner :
+  ?max_enumerate:int ->
+  Pp_ir.Cfg.t ->
+  Pp_core.Ball_larus.t ->
+  Pp_core.Ball_larus.pruned option

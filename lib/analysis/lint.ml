@@ -60,12 +60,49 @@ let unused_procs (prog : Program.t) =
                   "unused function: never called from main")
          | _ -> None)
 
+(* Branches whose condition the constant-propagation fixpoint proves to be
+   a single constant: the other arm is dead.  Reported at the terminator,
+   with a companion warning on every block that only that dead arm could
+   have reached (distinct from [unreachable_blocks], which needs no value
+   reasoning and fires on structurally disconnected code). *)
+let constant_branches (cfg : Cfg.t) =
+  let name = cfg.Cfg.proc.Proc.name in
+  let cp = Constprop.analyze cfg in
+  let branches =
+    Array.to_list cfg.Cfg.proc.Proc.blocks
+    |> List.filter_map (fun (b : Block.t) ->
+           match (b.Block.term, Constprop.branch_value cp b.Block.label) with
+           | Block.Br _, Some (Constprop.Const c) ->
+               Some
+                 (Diag.warning
+                    (Diag.term_loc name b.Block.label)
+                    "branch condition is always %s"
+                    (if c <> 0 then "true" else "false"))
+           | _ -> None)
+  in
+  let dfs = Dfs.run cfg.Cfg.graph ~root:cfg.Cfg.entry in
+  let dead =
+    Array.to_list cfg.Cfg.proc.Proc.blocks
+    |> List.filter_map (fun (b : Block.t) ->
+           if
+             Dfs.reachable dfs b.Block.label
+             && not (Constprop.reachable cp b.Block.label)
+           then
+             Some
+               (Diag.warning
+                  (Diag.block_loc name b.Block.label)
+                  "unreachable code (constant branch)")
+           else None)
+  in
+  branches @ dead
+
 let lint_proc (p : Proc.t) =
   let cfg = Cfg.of_proc p in
   let unreachable = unreachable_blocks cfg in
   let live = Liveness.compute cfg in
   let uninit = Uninit.compute cfg in
-  unreachable @ Uninit.warnings uninit @ Liveness.dead_stores live
+  unreachable @ constant_branches cfg @ Uninit.warnings uninit
+  @ Liveness.dead_stores live
 
 let run (prog : Program.t) =
   let per_proc =

@@ -151,7 +151,8 @@ type path = {
   sink : sink;
 }
 
-let decode t sum =
+(* The DAG edge sequence of a path sum, ENTRY to EXIT. *)
+let walk_edges t sum =
   if sum < 0 || sum >= num_paths t then
     invalid_arg
       (Printf.sprintf "Ball_larus.decode: sum %d not in [0, %d)" sum
@@ -175,7 +176,9 @@ let decode t sum =
       | Some e -> walk e.dst (rem - t.vals.(e.id)) (e :: acc_edges)
     end
   in
-  let edges = walk t.cfg.entry sum [] in
+  walk t.cfg.entry sum []
+
+let path_of_edges t edges =
   let source =
     match edges with
     | first :: _ -> (
@@ -200,6 +203,57 @@ let decode t sum =
       edges
   in
   { source; blocks; sink }
+
+let decode t sum = path_of_edges t (walk_edges t sum)
+
+(* {2 Traversals} *)
+
+type traversal = {
+  sum : int;
+  path : path;
+  real_edges : Digraph.edge list;
+}
+
+let traverse t sum =
+  let edges = walk_edges t sum in
+  let real_edges =
+    List.filter_map
+      (fun (e : Digraph.edge) ->
+        match t.kinds.(e.id) with
+        | Real cfg_e -> Some cfg_e
+        | Pseudo_start _ | Pseudo_end _ -> None)
+      edges
+  in
+  { sum; path = path_of_edges t edges; real_edges }
+
+(* {2 Pruned numberings} *)
+
+type pruned = {
+  numbering : t;
+  sums : int array;  (* feasible path sums, strictly ascending *)
+}
+
+let prune t ~feasible =
+  let keep = ref [] in
+  for sum = num_paths t - 1 downto 0 do
+    if feasible sum then keep := sum :: !keep
+  done;
+  { numbering = t; sums = Array.of_list !keep }
+
+let num_feasible p = Array.length p.sums
+let feasible_sums p = Array.copy p.sums
+let sum_of_index p i = p.sums.(i)
+
+let index_of_sum p sum =
+  let lo = ref 0 and hi = ref (Array.length p.sums - 1) in
+  let found = ref None in
+  while !found = None && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if p.sums.(mid) = sum then found := Some mid
+    else if p.sums.(mid) < sum then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
 
 let encode t path =
   let fail fmt =

@@ -75,6 +75,52 @@ val encode : t -> path -> int
 
 val pp_path : Format.formatter -> path -> unit
 
+(** {2 Traversals}
+
+    A decoded path together with the original CFG edges it crosses, for
+    clients that reason about edge attributes (feasibility, probe
+    placement).  [real_edges] lists the non-backedge CFG edges of the
+    traversal in execution order; the source/sink backedges themselves are
+    named by [path.source] / [path.sink]. *)
+
+type traversal = {
+  sum : int;
+  path : path;
+  real_edges : Digraph.edge list;
+}
+
+val traverse : t -> int -> traversal
+
+(** {2 Pruned numberings}
+
+    A pruned numbering keeps the original Ball–Larus path sums (so probes
+    and decode/encode are untouched) but fixes the set of sums a static
+    analysis proved feasible, with a dense re-indexing [0 .. n-1] over that
+    set.  The VM sizes path tables by the dense count, and profiles carry
+    the feasible count so that shards only merge when they agree. *)
+
+type pruned = private {
+  numbering : t;
+  sums : int array;  (** feasible path sums, strictly ascending *)
+}
+
+(** [prune t ~feasible] enumerates all [num_paths t] sums and keeps those
+    accepted by [feasible].  Callers bound the enumeration themselves
+    (see {!Pp_analysis.Feasibility}). *)
+val prune : t -> feasible:(int -> bool) -> pruned
+
+val num_feasible : pruned -> int
+
+(** A fresh copy of the kept sums, ascending. *)
+val feasible_sums : pruned -> int array
+
+(** Dense index of a feasible sum, [None] when the sum was pruned. *)
+val index_of_sum : pruned -> int -> int option
+
+(** Inverse of {!index_of_sum}.
+    @raise Invalid_argument when the index is out of range. *)
+val sum_of_index : pruned -> int -> int
+
 (** {2 Instrumentation placement}
 
     Placements are abstract: they name original CFG edges and the constants

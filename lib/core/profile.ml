@@ -79,6 +79,9 @@ let merge a b =
 
 let decode p sum = Ball_larus.decode p.numbering sum
 
+let observed_infeasible p ~feasible =
+  List.filter (fun (sum, _) -> not (feasible sum)) p.paths
+
 let ranked_paths p =
   List.sort (fun (_, a) (_, b) -> compare b.m0 a.m0) p.paths
 

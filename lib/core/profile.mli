@@ -40,6 +40,12 @@ val merge : t -> t -> t
 (** Decode a path sum of a profiled procedure. *)
 val decode : proc_profile -> int -> Ball_larus.path
 
+(** Executed paths the predicate rejects — the empty list is exactly the
+    soundness condition a static feasibility pruner must satisfy against
+    every dynamic profile. *)
+val observed_infeasible :
+  proc_profile -> feasible:(int -> bool) -> (int * path_metrics) list
+
 (** Executed paths of one procedure sorted by decreasing [m0]. *)
 val ranked_paths : proc_profile -> (int * path_metrics) list
 

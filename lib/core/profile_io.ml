@@ -7,6 +7,9 @@ type saved = {
   pic0 : Event.t;
   pic1 : Event.t;
   procs : (string * int * (int * Profile.path_metrics) list) list;
+  feasible : (string * int) list;
+      (* per procedure: statically feasible path count, when the run was
+         instrumented under a pruned numbering *)
 }
 
 let program_hash prog = Digest.to_hex (Digest.string (Marshal.to_string prog []))
@@ -19,9 +22,10 @@ let canonical s =
     procs =
       List.map (fun (p, n, paths) -> (p, n, sort_paths paths)) s.procs
       |> List.sort (fun (a, _, _) (b, _, _) -> compare a b);
+    feasible = List.sort compare s.feasible;
   }
 
-let of_profile ~program_hash ~mode (p : Profile.t) =
+let of_profile ?(feasible = []) ~program_hash ~mode (p : Profile.t) =
   canonical
     {
       program_hash;
@@ -35,6 +39,7 @@ let of_profile ~program_hash ~mode (p : Profile.t) =
               Ball_larus.num_paths pp.Profile.numbering,
               pp.Profile.paths ))
           p.Profile.procs;
+      feasible;
     }
 
 let totals s =
@@ -108,9 +113,28 @@ let merge a b =
       List.map merged_proc a.procs
       @ List.filter (fun (n, _, _) -> not (List.mem n a_names)) b.procs
     in
+    (* Feasible-path annotations must agree wherever both shards carry
+       one; otherwise take the union. *)
+    let feasible =
+      List.map
+        (fun (name, ka) ->
+          (match List.assoc_opt name b.feasible with
+          | Some kb when ka <> kb ->
+              if !conflict = None then
+                conflict :=
+                  Some
+                    (Diag.error (Diag.proc_loc name)
+                       "feasible-path count mismatch: %d vs %d" ka kb)
+          | _ -> ());
+          (name, ka))
+        a.feasible
+      @ List.filter
+          (fun (name, _) -> not (List.mem_assoc name a.feasible))
+          b.feasible
+    in
     match !conflict with
     | Some d -> Error d
-    | None -> Ok (canonical { a with procs })
+    | None -> Ok (canonical { a with procs; feasible })
   end
 
 let merge_all = function
@@ -124,10 +148,13 @@ let merge_all = function
 (* --- serialization ---
 
    profile 1 <hash> <mode> <pic0> <pic1>
+   feasible <name-escaped> <num-feasible-paths>
    proc <name-escaped> <num-potential-paths>
    path <sum> <freq> <m0> <m1>
 
-   A proc record opens a section; its path records follow. *)
+   A proc record opens a section; its path records follow.  The optional
+   feasible records (one per statically pruned procedure) sit between the
+   header and the first proc. *)
 
 let to_string s =
   let s = canonical s in
@@ -137,6 +164,11 @@ let to_string s =
        (Cct_io.escape s.mode)
        (Cct_io.escape (Event.name s.pic0))
        (Cct_io.escape (Event.name s.pic1)));
+  List.iter
+    (fun (name, k) ->
+      Buffer.add_string buf
+        (Printf.sprintf "feasible %s %d\n" (Cct_io.escape name) k))
+    s.feasible;
   List.iter
     (fun (name, npaths, paths) ->
       Buffer.add_string buf
@@ -158,6 +190,7 @@ let fail line fmt =
 let of_string text =
   let header = ref None in
   let procs = ref [] in  (* (name, npaths, paths_rev) list, reversed *)
+  let feasible = ref [] in
   let event lineno s =
     match Event.of_name (Cct_io.unescape s) with
     | Some e -> e
@@ -177,6 +210,13 @@ let of_string text =
                   Cct_io.unescape mode,
                   event lineno pic0,
                   event lineno pic1 )
+        | [ "feasible"; name; k ] ->
+            if !header = None then fail lineno "feasible before header";
+            let k =
+              try int_of_string k
+              with Failure _ -> fail lineno "bad feasible count %S" k
+            in
+            feasible := (Cct_io.unescape name, k) :: !feasible
         | [ "proc"; name; npaths ] ->
             if !header = None then fail lineno "proc before header";
             let npaths =
@@ -211,6 +251,7 @@ let of_string text =
             List.rev_map
               (fun (name, npaths, paths) -> (name, npaths, List.rev !paths))
               !procs;
+          feasible = List.rev !feasible;
         }
 
 let to_file path s =

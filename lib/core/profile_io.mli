@@ -12,9 +12,16 @@
     The format, line-oriented like {!Cct_io}'s:
     {v
     profile 1 <program-hash> <mode> <pic0> <pic1>
+    feasible <name-escaped> <num-feasible-paths>
     proc <name-escaped> <num-potential-paths>
     path <sum> <freq> <m0> <m1>
-    v} *)
+    v}
+
+    [feasible] records (optional, one per statically pruned procedure)
+    carry the feasible-path count the static analyzer certified when the
+    run was instrumented; {!merge} refuses shards whose annotations
+    disagree, so a pruned run never silently sums with an unpruned one's
+    claims. *)
 
 module Event = Pp_machine.Event
 
@@ -25,14 +32,22 @@ type saved = {
   pic1 : Event.t;
   procs : (string * int * (int * Profile.path_metrics) list) list;
       (** procedure, potential-path count, executed paths by path sum *)
+  feasible : (string * int) list;
+      (** statically feasible path count per pruned procedure *)
 }
 
 (** Digest of a program's structure; shards of the same binary agree. *)
 val program_hash : Pp_ir.Program.t -> string
 
 (** Strip the numbering from an in-memory profile (path sums alone suffice
-    to merge; decoding needs the program anyway). *)
-val of_profile : program_hash:string -> mode:string -> Profile.t -> saved
+    to merge; decoding needs the program anyway).  [feasible] attaches the
+    static analyzer's per-procedure feasible-path counts. *)
+val of_profile :
+  ?feasible:(string * int) list ->
+  program_hash:string ->
+  mode:string ->
+  Profile.t ->
+  saved
 
 (** Canonical form: procedures sorted by name, paths by path sum.  All
     functions below return canonical values; [merge] is commutative and
@@ -43,8 +58,9 @@ val canonical : saved -> saved
 val totals : saved -> int * int * int
 
 (** Sum two shards.  [Error d] (with [d] located at the offending procedure
-    or at ["<header>"]) if the program hashes, modes, PIC selections or a
-    procedure's potential-path counts disagree. *)
+    or at ["<header>"]) if the program hashes, modes, PIC selections, a
+    procedure's potential-path counts or its feasible-path annotations
+    disagree. *)
 val merge : saved -> saved -> (saved, Pp_ir.Diag.t) result
 
 (** Fold {!merge} over a non-empty list. *)

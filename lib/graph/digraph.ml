@@ -112,6 +112,14 @@ let fold_edges f g init =
 let find_edges g src dst =
   List.filter (fun e -> e.dst = dst) (out_edges g src)
 
+let reverse g =
+  let r = create () in
+  for _ = 1 to g.n_vertices do
+    ignore (add_vertex r)
+  done;
+  iter_edges (fun e -> ignore (add_edge r e.dst e.src)) g;
+  r
+
 let copy g =
   {
     n_vertices = g.n_vertices;

@@ -65,6 +65,11 @@ val fold_edges : (edge -> 'a -> 'a) -> t -> 'a -> 'a
 (** All edges from [src] to [dst], in insertion order. *)
 val find_edges : t -> vertex -> vertex -> edge list
 
+(** [reverse g] is a fresh graph with the same vertices and every edge
+    flipped.  Edges are inserted in id order, so a reversed edge keeps the
+    id of its original — attributes keyed by edge id transfer across. *)
+val reverse : t -> t
+
 (** A deep copy sharing no mutable state with the original. *)
 val copy : t -> t
 

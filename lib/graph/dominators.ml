@@ -44,6 +44,8 @@ let compute g ~root =
   done;
   { root; idom; rpo_index }
 
+let compute_post g ~exit = compute (Digraph.reverse g) ~root:exit
+
 let idom t v =
   if v = t.root || t.idom.(v) < 0 then None else Some t.idom.(v)
 

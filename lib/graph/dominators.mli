@@ -11,6 +11,12 @@ type t
     dominator information. *)
 val compute : Digraph.t -> root:Digraph.vertex -> t
 
+(** [compute_post g ~exit] computes post-dominators: the dominator tree of
+    the reversed graph rooted at [exit].  [dominates t d v] on the result
+    reads as "[d] post-dominates [v]" — every [v]→[exit] path passes
+    through [d].  Vertices that cannot reach [exit] have no information. *)
+val compute_post : Digraph.t -> exit:Digraph.vertex -> t
+
 (** Immediate dominator; [None] for the root and for unreachable
     vertices. *)
 val idom : t -> Digraph.vertex -> Digraph.vertex option

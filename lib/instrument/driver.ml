@@ -16,9 +16,9 @@ type session = {
 
 let default_pics = (Event.Dcache_misses, Event.Instructions)
 
-let prepare ?options ?config ?max_instructions ?(pics = default_pics) ~mode
-    prog =
-  let instrumented, manifest = Instrument.run ?options ~mode prog in
+let prepare ?options ?pruner ?config ?max_instructions
+    ?(pics = default_pics) ~mode prog =
+  let instrumented, manifest = Instrument.run ?options ?pruner ~mode prog in
   let vm =
     Interp.create ?config ?max_instructions
       ~merge_call_sites:manifest.Instrument.options.Instrument.merge_call_sites
@@ -31,8 +31,16 @@ let prepare ?options ?config ?max_instructions ?(pics = default_pics) ~mode
       | Instrument.Hash_table { id } ->
           Runtime.register_hash_table rt ~table:id ~proc:info.Instrument.proc
       | Instrument.Cct_table { id } ->
+          (* A statically pruned numbering certifies fewer possible sums;
+             per-record tables need only that many cells of simulated
+             footprint. *)
+          let npaths =
+            match info.Instrument.pruned with
+            | Some p -> Ball_larus.num_feasible p
+            | None -> info.Instrument.num_paths
+          in
           Runtime.register_cct_table rt ~table:id ~proc:info.Instrument.proc
-            ~npaths:info.Instrument.num_paths
+            ~npaths
       | Instrument.No_table | Instrument.Array_table _
       | Instrument.Edge_table _ ->
           ())

@@ -17,9 +17,12 @@ type session = {
 
 (** Instrument for [mode], build a VM, register the runtime tables and
     select the PIC events (default: [Dcache_misses], [Instructions] — the
-    Table 4/5 configuration). *)
+    Table 4/5 configuration).  [pruner] enables static path-feasibility
+    pruning: CCT per-record path tables are sized by the certified
+    feasible count instead of the full potential-path count. *)
 val prepare :
   ?options:Instrument.options ->
+  ?pruner:Instrument.pruner ->
   ?config:Pp_machine.Config.t ->
   ?max_instructions:int ->
   ?pics:Event.t * Event.t ->

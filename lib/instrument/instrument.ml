@@ -40,7 +40,10 @@ type proc_info = {
   num_paths : int;
   spilled : bool;
   path_loc : Path_instr.path_loc option;
+  pruned : Ball_larus.pruned option;
 }
+
+type pruner = Cfg.t -> Ball_larus.t -> Ball_larus.pruned option
 
 type manifest = { mode : mode; options : options; infos : proc_info list }
 
@@ -86,7 +89,7 @@ let emit_edge_profiling ed ~global =
     (Pp_core.Edge_profile.chords plan);
   plan
 
-let instrument_proc options mode ~table_id (p : Proc.t) =
+let instrument_proc ?pruner options mode ~table_id (p : Proc.t) =
   match options.only with
   | Some names when not (List.mem p.Proc.name names) ->
       ( p,
@@ -97,18 +100,25 @@ let instrument_proc options mode ~table_id (p : Proc.t) =
           num_paths = 0;
           spilled = false;
           path_loc = None;
+          pruned = None;
         } )
   | Some _ | None ->
   let ed = Editor.create p in
   let spilled = p.Proc.niregs >= options.spill_threshold in
-  let numbering, table, path_loc =
+  let numbering, table, path_loc, pruned =
     if mode = Edge_freq then begin
       let global = table_global_name p.Proc.name in
       let plan = emit_edge_profiling ed ~global in
-      (None, Edge_table { global; plan }, None)
+      (None, Edge_table { global; plan }, None, None)
     end
     else if profiles_paths mode then begin
-      let bl = Ball_larus.build (Editor.cfg ed) in
+      let cfg = Editor.cfg ed in
+      let bl = Ball_larus.build cfg in
+      (* Static feasibility pruning, when the caller supplies an analysis.
+         The numbering (and hence every probe constant) is untouched: the
+         pruned view only certifies which sums can occur, letting the
+         runtime size hash/CCT tables by the feasible count. *)
+      let pruned = match pruner with None -> None | Some f -> f cfg bl in
       let placement =
         if options.optimize_placement then
           (* Static loop-depth frequency estimates keep hot edges on the
@@ -151,30 +161,38 @@ let instrument_proc options mode ~table_id (p : Proc.t) =
       in
       if profiles_context mode then
         Cct_instr.emit ed ~metrics:false ~backedge_reads:false;
-      (Some bl, table, Some path_loc)
+      (Some bl, table, Some path_loc, pruned)
     end
     else begin
       (* Context_hw: CCT construction with metric deltas. *)
       Cct_instr.emit ed ~metrics:true
         ~backedge_reads:options.backedge_metric_reads;
-      (None, No_table, None)
+      (None, No_table, None, None)
     end
   in
   let num_paths =
     match numbering with Some bl -> Ball_larus.num_paths bl | None -> 0
   in
   let info =
-    { proc = p.Proc.name; numbering; table; num_paths; spilled; path_loc }
+    {
+      proc = p.Proc.name;
+      numbering;
+      table;
+      num_paths;
+      spilled;
+      path_loc;
+      pruned;
+    }
   in
   (Editor.finish ed, info)
 
-let run ?(options = default_options) ~mode prog =
+let run ?(options = default_options) ?pruner ~mode prog =
   let infos = ref [] in
   let table_globals = ref [] in
   let procs =
     Array.to_list prog.Program.procs
     |> List.mapi (fun table_id p ->
-           let p', info = instrument_proc options mode ~table_id p in
+           let p', info = instrument_proc ?pruner options mode ~table_id p in
            infos := info :: !infos;
            (match info.table with
            | Array_table { global; cells } ->

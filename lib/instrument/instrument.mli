@@ -61,7 +61,17 @@ type proc_info = {
   path_loc : Path_instr.path_loc option;
       (** where the path register lives, when paths are profiled — the
           anchor the static verifier traces *)
+  pruned : Ball_larus.pruned option;
+      (** statically pruned numbering from the [?pruner] callback; probe
+          constants and path sums are unchanged, but the runtime sizes
+          hash/CCT tables by its feasible count *)
 }
+
+(** A static path-feasibility analysis, supplied by callers (typically
+    [Pp_analysis.Feasibility.pruner] — the dependency points that way, so
+    the instrumenter only sees this callback type).  [None] means the
+    procedure's path table was too large to certify. *)
+type pruner = Pp_ir.Cfg.t -> Ball_larus.t -> Ball_larus.pruned option
 
 (** The counter-array global used by a procedure's edge/path table, if
     any. *)
@@ -76,7 +86,7 @@ type manifest = {
 (** [run ~mode prog] instruments every procedure, adding counter-array
     globals as needed.  The result still passes {!Pp_ir.Validate}. *)
 val run :
-  ?options:options -> mode:mode -> Pp_ir.Program.t ->
+  ?options:options -> ?pruner:pruner -> mode:mode -> Pp_ir.Program.t ->
   Pp_ir.Program.t * manifest
 
 val mode_name : mode -> string

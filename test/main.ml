@@ -22,6 +22,8 @@ let () =
       ("random_programs", Test_random_programs.suite);
       ("workloads", Test_workloads.suite);
       ("dataflow", Test_dataflow.suite);
+      ("graph_analysis", Test_graph_analysis.suite);
+      ("feasibility", Test_feasibility.suite);
       ("check", Test_check.suite);
       ("mutation", Test_mutation.suite);
       ("merge", Test_merge.suite);
