@@ -38,6 +38,9 @@ let targets : (string * string * (unit -> unit)) list =
       "edge vs path profiling overhead (BL94)",
       Ablations.ablation_edge );
     ("estimator", "static probe-cost estimates vs measured", Estimator.run);
+    ( "overhead",
+      "self-measured overhead attribution (writes OVERHEAD.json)",
+      Overheads.run );
     ("sampling", "stack sampling vs CCT (7.2)", Sampling.run);
     ("hall", "Hall iterative call-path profiling vs CCT (7.2)", Hall.run);
     ("micro", "bechamel micro-benchmarks", Micro.run);

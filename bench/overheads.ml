@@ -1,0 +1,42 @@
+(* The self-telemetry overhead target: Tables 1/2-style overhead and
+   perturbation with exact per-category attribution, rendered for a
+   representative workload pair and written to OVERHEAD.json for the
+   benchmark archive. *)
+
+module W = Pp_workloads.Workload
+module Registry = Pp_workloads.Registry
+module Overhead = Pp_overhead.Overhead
+
+let budget = 400_000_000
+let workloads = [ "li_like"; "compress_like" ]
+
+let run () =
+  print_endline "== overhead: self-measured cost of profiling ==";
+  let reports =
+    List.filter_map
+      (fun name ->
+        match Registry.find name with
+        | None ->
+            Printf.printf "unknown workload %s\n" name;
+            None
+        | Some w ->
+            let prog = W.compile w in
+            let r = Overhead.compute ~budget ~program:name prog in
+            print_string (Overhead.render r);
+            print_newline ();
+            (match Overhead.check r with
+            | Ok () -> ()
+            | Error msg -> Printf.printf "ATTRIBUTION MISMATCH: %s\n" msg);
+            Some r)
+      workloads
+  in
+  let oc = open_out "OVERHEAD.json" in
+  output_string oc "[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then output_string oc ",";
+      output_string oc (Overhead.to_json r))
+    reports;
+  output_string oc "]\n";
+  close_out oc;
+  Printf.printf "wrote OVERHEAD.json (%d workloads)\n" (List.length reports)

@@ -28,6 +28,9 @@ module Profile_io = Pp_core.Profile_io
 module Pool = Pp_run.Pool
 module Matrix = Pp_run.Matrix
 module Diag = Pp_ir.Diag
+module Trace = Pp_telemetry.Trace
+module Metrics = Pp_telemetry.Metrics
+module Overhead = Pp_overhead.Overhead
 
 let read_file path =
   let ic = open_in_bin path in
@@ -108,6 +111,29 @@ let require_positive ~flag v =
       (Diag.error (Diag.proc_loc "<cli>") "--%s must be positive (got %d)"
          flag v)
 
+(* --telemetry FILE on run/profile/bench: dump the global metrics
+   registry after the command's work is done.  The dump is canonical and
+   jobs-independent, so CI can diff it across --jobs values. *)
+let telemetry_opt =
+  Arg.(value & opt (some string) None
+       & info [ "telemetry" ] ~docv:"FILE"
+           ~doc:"Write the canonical metrics dump (counters, gauges, \
+                 log-bucketed histograms recorded by this command and its \
+                 pool workers) to FILE.")
+
+let write_telemetry path =
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      output_string oc (Metrics.dump (Metrics.snapshot Metrics.default));
+      close_out oc)
+    path
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
 (* --- pp run --- *)
 
 (* Sum per-event counters across shards (events in shard-0 order). *)
@@ -116,9 +142,13 @@ let merge_counters a b =
 
 let run_cmd =
   let doc = "Execute a program uninstrumented and report its counters." in
-  let action file workload budget counters shards jobs =
+  let action file workload budget counters shards jobs telemetry =
     require_positive ~flag:"shards" shards;
     require_positive ~flag:"jobs" jobs;
+    let record_run (r : Interp.result) =
+      Metrics.incr Metrics.default "run.instructions" r.Interp.instructions;
+      Metrics.incr Metrics.default "run.cycles" r.Interp.cycles
+    in
     match load ~file ~workload with
     | Error msg -> exit_err msg
     | Ok prog when shards <= 1 -> (
@@ -129,18 +159,25 @@ let run_cmd =
             print_output r;
             Printf.printf "\n%d instructions, %d cycles\n" r.Interp.instructions
               r.Interp.cycles;
-            if counters then print_counters r
+            if counters then print_counters r;
+            record_run r;
+            write_telemetry telemetry
         | exception Interp.Trap msg -> exit_err ("trap: " ^ msg))
     | Ok prog -> (
         (* Sharded: the same run in [shards] isolated processes, counters
            summed — the aggregate profile a sharded run matrix produces. *)
-        let outcomes =
-          Pool.map ~jobs
+        let outcomes, stats =
+          Pool.map_stats ~jobs
             (fun shard ->
               ignore shard;
-              Interp.run (Interp.create ~max_instructions:budget prog))
+              let r = Interp.run (Interp.create ~max_instructions:budget prog) in
+              record_run r;
+              r)
             (List.init shards (fun i -> i))
         in
+        (* Wall-clock summary goes to stderr: stdout stays byte-identical
+           at any --jobs. *)
+        prerr_string (Pool.footer stats);
         let ok = List.filter_map Pool.outcome_ok outcomes in
         List.iteri
           (fun i o ->
@@ -176,7 +213,9 @@ let run_cmd =
               List.iter
                 (fun (e, v) -> Printf.printf "%-18s %12d\n" (Event.name e) v)
                 merged
-            end)
+            end;
+            Metrics.set_gauge Metrics.default "run.shards" shards;
+            write_telemetry telemetry)
   in
   let counters =
     Arg.(value & flag
@@ -194,19 +233,20 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const action $ file $ workload_opt $ budget $ counters $ shards
-          $ jobs)
+          $ jobs $ telemetry_opt)
 
 (* --- pp profile --- *)
 
-let mode_conv =
-  Arg.enum
-    [
-      ("edge-freq", Instrument.Edge_freq);
-      ("flow-freq", Instrument.Flow_freq);
-      ("flow-hw", Instrument.Flow_hw);
-      ("context-hw", Instrument.Context_hw);
-      ("context-flow", Instrument.Context_flow);
-    ]
+let mode_assoc =
+  [
+    ("edge-freq", Instrument.Edge_freq);
+    ("flow-freq", Instrument.Flow_freq);
+    ("flow-hw", Instrument.Flow_hw);
+    ("context-hw", Instrument.Context_hw);
+    ("context-flow", Instrument.Context_flow);
+  ]
+
+let mode_conv = Arg.enum mode_assoc
 
 let event_conv =
   let parse s =
@@ -283,7 +323,7 @@ let profile_cmd =
      profile."
   in
   let action file workload budget mode pic0 pic1 top cct_out dot_out
-      profile_out =
+      profile_out telemetry =
     match load ~file ~workload with
     | Error msg -> exit_err msg
     | Ok prog -> (
@@ -369,7 +409,11 @@ let profile_cmd =
                   dot_out
             | Instrument.Edge_freq | Instrument.Flow_freq
             | Instrument.Flow_hw ->
-                ()))
+                ());
+            Metrics.incr Metrics.default "profile.instructions"
+              r.Interp.instructions;
+            Metrics.incr Metrics.default "profile.cycles" r.Interp.cycles;
+            write_telemetry telemetry)
   in
   let mode =
     Arg.(value & opt mode_conv Instrument.Flow_hw
@@ -410,7 +454,7 @@ let profile_cmd =
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(
       const action $ file $ workload_opt $ budget $ mode $ pic0 $ pic1 $ top
-      $ cct_out $ dot_out $ profile_out)
+      $ cct_out $ dot_out $ profile_out $ telemetry_opt)
 
 (* --- pp paths --- *)
 
@@ -744,7 +788,7 @@ let bench_cmd =
      evaluation grid) through the process pool and print one deterministic \
      report: byte-identical at any --jobs."
   in
-  let action jobs timeout budget workloads modes =
+  let action jobs timeout budget workloads modes telemetry =
     require_positive ~flag:"jobs" jobs;
     (match workloads with
     | [] -> ()
@@ -764,11 +808,16 @@ let bench_cmd =
         ?workloads:(match workloads with [] -> None | ws -> Some ws)
         ~configs ()
     in
-    let results =
-      Matrix.run ~jobs ?timeout:(if timeout > 0.0 then Some timeout else None)
+    let results, stats =
+      Matrix.run_stats ~jobs
+        ?timeout:(if timeout > 0.0 then Some timeout else None)
         ~budget tasks
     in
     print_string (Matrix.report results);
+    (* Per-worker wall times are wall-clock dependent: stderr only, so
+       stdout stays byte-identical at any --jobs. *)
+    prerr_string (Pool.footer stats);
+    write_telemetry telemetry;
     match Matrix.failures results with
     | [] -> ()
     | fs ->
@@ -798,7 +847,8 @@ let bench_cmd =
                    base and all five).")
   in
   Cmd.v (Cmd.info "bench" ~doc)
-    Term.(const action $ jobs $ timeout $ budget $ workloads $ modes)
+    Term.(const action $ jobs $ timeout $ budget $ workloads $ modes
+          $ telemetry_opt)
 
 (* --- pp merge --- *)
 
@@ -887,6 +937,155 @@ let merge_cmd =
   Cmd.v (Cmd.info "merge" ~doc)
     Term.(const action $ out $ cct_mode $ inputs)
 
+(* --- pp trace --- *)
+
+let trace_cmd =
+  let doc =
+    "Run a profiling session with self-telemetry enabled and write a \
+     Chrome trace_event timeline (about://tracing / Perfetto) of the \
+     profiler's own phases: instrument, vm.setup, execute (with periodic \
+     counter samples), extract.profile."
+  in
+  let action file workload budget mode interval out text =
+    require_positive ~flag:"interval" interval;
+    match load ~file ~workload with
+    | Error msg -> exit_err msg
+    | Ok prog ->
+        let tr = Trace.create () in
+        let out_path =
+          match out with
+          | Some o -> o
+          | None -> (
+              match (file, workload) with
+              | Some f, _ -> Filename.remove_extension f ^ ".trace.json"
+              | None, Some w -> w ^ ".trace.json"
+              | None, None -> "pp.trace.json")
+        in
+        let finish ~failed =
+          write_file out_path (Trace.to_chrome_json tr);
+          if text then print_string (Trace.to_text tr);
+          Printf.printf "wrote %d events (%d dropped) to %s\n"
+            (List.length (Trace.events tr))
+            (Trace.dropped tr) out_path;
+          if failed then exit 1
+        in
+        let session =
+          Driver.prepare ~max_instructions:budget ~telemetry:tr
+            ~telemetry_interval:interval ~mode prog
+        in
+        (match Driver.run session with
+        | exception Interp.Trap msg ->
+            Trace.instant tr "trap";
+            Printf.eprintf "pp: trap: %s\n" msg;
+            finish ~failed:true
+        | _r -> (
+            match mode with
+            | Instrument.Flow_freq | Instrument.Flow_hw
+            | Instrument.Context_flow ->
+                ignore (Driver.path_profile session);
+                finish ~failed:false
+            | Instrument.Edge_freq | Instrument.Context_hw ->
+                finish ~failed:false))
+  in
+  let mode =
+    Arg.(value & opt mode_conv Instrument.Flow_hw
+         & info [ "mode"; "m" ] ~docv:"MODE"
+             ~doc:"edge-freq, flow-freq, flow-hw, context-hw or \
+                   context-flow.")
+  in
+  let interval =
+    Arg.(value & opt int 100_000
+         & info [ "interval" ] ~docv:"CYCLES"
+             ~doc:"Simulated cycles between VM counter samples.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Output file (default: <input>.trace.json).")
+  in
+  let text =
+    Arg.(value & flag
+         & info [ "text" ]
+             ~doc:"Also print the compact indented text timeline to \
+                   stdout.")
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const action $ file $ workload_opt $ budget $ mode $ interval
+          $ out $ text)
+
+(* --- pp overhead --- *)
+
+let overhead_mode_conv =
+  Arg.enum (("all", `All) :: List.map (fun (n, m) -> (n, `Mode m)) mode_assoc)
+
+let overhead_cmd =
+  let doc =
+    "Measure instrumentation overhead and perturbation against the \
+     uninstrumented baseline (the paper's Tables 1 and 2), attributing \
+     the cycle/instruction delta to probe categories using the exact \
+     executed-probe counts decoded from the profile.  Exits 2 if the \
+     per-category attributions do not sum exactly to the measured delta."
+  in
+  let action file workload budget modes jobs json_flag out =
+    require_positive ~flag:"jobs" jobs;
+    match load ~file ~workload with
+    | Error msg -> exit_err msg
+    | Ok prog -> (
+        let program =
+          match (file, workload) with
+          | Some f, _ -> f
+          | None, Some w -> w
+          | None, None -> "<none>"
+        in
+        let modes =
+          if modes = [] || List.mem `All modes then Overhead.all_modes
+          else
+            List.filter_map
+              (function `Mode m -> Some m | `All -> None)
+              modes
+        in
+        match Overhead.compute ~budget ~jobs ~modes ~program prog with
+        | exception Interp.Trap msg -> exit_err ("trap: " ^ msg)
+        | report -> (
+            if json_flag then print_string (Overhead.to_json report)
+            else print_string (Overhead.render report);
+            Option.iter
+              (fun path -> write_file path (Overhead.to_json report))
+              out;
+            match Overhead.check report with
+            | Ok () -> ()
+            | Error msg ->
+                exit_invalid
+                  (Diag.error (Diag.proc_loc "<overhead>")
+                     "attribution check failed: %s" msg)))
+  in
+  let modes =
+    Arg.(value & opt_all overhead_mode_conv []
+         & info [ "mode"; "m" ] ~docv:"MODE"
+             ~doc:"Mode to measure: edge-freq, flow-freq, flow-hw, \
+                   context-hw, context-flow or all (repeatable; default: \
+                   all).")
+  in
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Measure modes concurrently (the report is \
+                   byte-identical at any N).")
+  in
+  let json_flag =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Print the report as JSON instead of text.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Also write the JSON report to FILE (e.g. \
+                   OVERHEAD.json).")
+  in
+  Cmd.v (Cmd.info "overhead" ~doc)
+    Term.(const action $ file $ workload_opt $ budget $ modes $ jobs
+          $ json_flag $ out)
+
 (* --- pp workloads --- *)
 
 let workloads_cmd =
@@ -909,4 +1108,5 @@ let () =
   let info = Cmd.info "pp" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
                     [ run_cmd; profile_cmd; paths_cmd; cost_cmd; disasm_cmd;
-                      check_cmd; bench_cmd; merge_cmd; workloads_cmd ]))
+                      check_cmd; bench_cmd; merge_cmd; trace_cmd;
+                      overhead_cmd; workloads_cmd ]))

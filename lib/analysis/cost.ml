@@ -41,24 +41,66 @@ type row = {
 
 type report = { mode : Instrument.mode; rows : row list }
 
-(* Path-probe executions of one traversal under a placement: the entry
-   init (for From_entry paths), one increment per crossed increment edge,
-   and the single commit that ends every traversal (backedge op or return
-   commit). *)
-let traversal_probes ~is_increment ~init_needed (trav : Ball_larus.traversal)
-    =
-  let init =
-    match trav.Ball_larus.path.Ball_larus.source with
-    | Ball_larus.From_entry when init_needed -> 1
-    | _ -> 0
-  in
-  let increments =
-    List.fold_left
-      (fun acc (e : Digraph.edge) ->
-        if is_increment.(e.id) then acc + 1 else acc)
-      0 trav.Ball_larus.real_edges
-  in
-  init + increments + 1
+type breakdown = {
+  entry_traversals : int;
+  inits : int;
+  increments : int;
+  commits : int;
+  backedge_commits : int;
+}
+
+(* Path-probe executions under a placement: the entry init (for
+   From_entry paths when the placement needs one), one increment per
+   crossed increment edge, and the single commit that ends every
+   traversal (backedge op or return commit).  A profile decodes into the
+   precise edges each traversal crossed, so these counts are exact. *)
+let breakdown_of ~is_increment ~init_needed bl paths =
+  let entry_traversals = ref 0
+  and inits = ref 0
+  and increments = ref 0
+  and commits = ref 0
+  and backedge_commits = ref 0 in
+  List.iter
+    (fun (sum, (m : Profile.path_metrics)) ->
+      let trav = Ball_larus.traverse bl sum in
+      let f = m.Profile.freq in
+      (match trav.Ball_larus.path.Ball_larus.source with
+      | Ball_larus.From_entry ->
+          entry_traversals := !entry_traversals + f;
+          if init_needed then inits := !inits + f
+      | Ball_larus.After_backedge _ -> ());
+      List.iter
+        (fun (e : Digraph.edge) ->
+          if is_increment.(e.id) then increments := !increments + f)
+        trav.Ball_larus.real_edges;
+      commits := !commits + f;
+      match trav.Ball_larus.path.Ball_larus.sink with
+      | Ball_larus.Into_backedge _ -> backedge_commits := !backedge_commits + f
+      | Ball_larus.To_exit -> ())
+    paths;
+  {
+    entry_traversals = !entry_traversals;
+    inits = !inits;
+    increments = !increments;
+    commits = !commits;
+    backedge_commits = !backedge_commits;
+  }
+
+let placement_of ~options bl =
+  if options.Instrument.optimize_placement then
+    let weights = Pp_core.Static_weights.edge_weight (Ball_larus.cfg bl) in
+    Ball_larus.optimized_placement ~weights bl
+  else Ball_larus.simple_placement bl
+
+let measured_breakdown ?(options = Instrument.default_options) bl paths =
+  let cfg = Ball_larus.cfg bl in
+  let placement = placement_of ~options bl in
+  let is_increment = Array.make (Digraph.num_edges cfg.Cfg.graph) false in
+  List.iter
+    (fun ((e : Digraph.edge), _) -> is_increment.(e.id) <- true)
+    placement.Ball_larus.increments;
+  breakdown_of ~is_increment
+    ~init_needed:placement.Ball_larus.init_needed bl paths
 
 let count_call_sites (p : Proc.t) freq =
   Array.fold_left
@@ -119,12 +161,7 @@ let compute ?(options = Instrument.default_options) ?max_enumerate ~mode
               let fs = Feasibility.analyze ?max_enumerate cfg bl in
               let cp = Feasibility.constprop fs in
               let freq = Freq.estimate ~cp cfg in
-              let placement =
-                if options.Instrument.optimize_placement then
-                  let weights = Pp_core.Static_weights.edge_weight cfg in
-                  Ball_larus.optimized_placement ~weights bl
-                else Ball_larus.simple_placement bl
-              in
+              let placement = placement_of ~options bl in
               let is_increment =
                 Array.make (Digraph.num_edges cfg.Cfg.graph) false
               in
@@ -216,25 +253,14 @@ let compute ?(options = Instrument.default_options) ?max_enumerate ~mode
                                     k
                                     (Feasibility.num_feasible fs)))
                         | _ -> ());
-                        let invocations = ref 0 and probes = ref 0 in
-                        List.iter
-                          (fun (sum, (m : Profile.path_metrics)) ->
-                            let trav = Ball_larus.traverse bl sum in
-                            (match
-                               trav.Ball_larus.path.Ball_larus.source
-                             with
-                            | Ball_larus.From_entry ->
-                                invocations :=
-                                  !invocations + m.Profile.freq
-                            | Ball_larus.After_backedge _ -> ());
-                            probes :=
-                              !probes
-                              + m.Profile.freq
-                                * traversal_probes ~is_increment
-                                    ~init_needed trav)
-                          paths;
+                        let b =
+                          breakdown_of ~is_increment ~init_needed bl paths
+                        in
                         Some
-                          { invocations = !invocations; probes = !probes })
+                          {
+                            invocations = b.entry_traversals;
+                            probes = b.inits + b.increments + b.commits;
+                          })
               in
               {
                 proc = info.Instrument.proc;

@@ -6,50 +6,67 @@ module Interp = Pp_vm.Interp
 module Runtime = Pp_vm.Runtime
 module Program = Pp_ir.Program
 module Proc = Pp_ir.Proc
+module Trace = Pp_telemetry.Trace
 
 type session = {
   original : Program.t;
   instrumented : Program.t;
   manifest : Instrument.manifest;
   vm : Interp.t;
+  trace : Trace.t;
 }
 
 let default_pics = (Event.Dcache_misses, Event.Instructions)
 
 let prepare ?options ?pruner ?config ?max_instructions
-    ?(pics = default_pics) ~mode prog =
-  let instrumented, manifest = Instrument.run ?options ?pruner ~mode prog in
-  let vm =
-    Interp.create ?config ?max_instructions
-      ~merge_call_sites:manifest.Instrument.options.Instrument.merge_call_sites
-      instrumented
+    ?(pics = default_pics) ?(telemetry = Trace.null) ?telemetry_interval
+    ~mode prog =
+  let instrumented, manifest =
+    Trace.with_span telemetry "instrument" (fun () ->
+        Instrument.run ?options ?pruner ~mode prog)
   in
-  let rt = Interp.runtime vm in
-  List.iter
-    (fun (info : Instrument.proc_info) ->
-      match info.Instrument.table with
-      | Instrument.Hash_table { id } ->
-          Runtime.register_hash_table rt ~table:id ~proc:info.Instrument.proc
-      | Instrument.Cct_table { id } ->
-          (* A statically pruned numbering certifies fewer possible sums;
-             per-record tables need only that many cells of simulated
-             footprint. *)
-          let npaths =
-            match info.Instrument.pruned with
-            | Some p -> Ball_larus.num_feasible p
-            | None -> info.Instrument.num_paths
-          in
-          Runtime.register_cct_table rt ~table:id ~proc:info.Instrument.proc
-            ~npaths
-      | Instrument.No_table | Instrument.Array_table _
-      | Instrument.Edge_table _ ->
-          ())
-    manifest.Instrument.infos;
-  let pic0, pic1 = pics in
-  Interp.select_pics vm ~pic0 ~pic1;
-  { original = prog; instrumented; manifest; vm }
+  let vm =
+    Trace.with_span telemetry "vm.setup" (fun () ->
+        let vm =
+          Interp.create ?config ?max_instructions
+            ~merge_call_sites:
+              manifest.Instrument.options.Instrument.merge_call_sites
+            instrumented
+        in
+        let rt = Interp.runtime vm in
+        List.iter
+          (fun (info : Instrument.proc_info) ->
+            match info.Instrument.table with
+            | Instrument.Hash_table { id } ->
+                Runtime.register_hash_table rt ~table:id
+                  ~proc:info.Instrument.proc
+            | Instrument.Cct_table { id } ->
+                (* A statically pruned numbering certifies fewer possible
+                   sums; per-record tables need only that many cells of
+                   simulated footprint. *)
+                let npaths =
+                  match info.Instrument.pruned with
+                  | Some p -> Ball_larus.num_feasible p
+                  | None -> info.Instrument.num_paths
+                in
+                Runtime.register_cct_table rt ~table:id
+                  ~proc:info.Instrument.proc ~npaths
+            | Instrument.No_table | Instrument.Array_table _
+            | Instrument.Edge_table _ ->
+                ())
+          manifest.Instrument.infos;
+        let pic0, pic1 = pics in
+        Interp.select_pics vm ~pic0 ~pic1;
+        vm)
+  in
+  (match telemetry_interval with
+  | Some interval when Trace.enabled telemetry ->
+      Interp.set_telemetry vm ~trace:telemetry ~interval
+  | _ -> ());
+  { original = prog; instrumented; manifest; vm; trace = telemetry }
 
-let run session = Interp.run session.vm
+let run session =
+  Trace.with_span session.trace "execute" (fun () -> Interp.run session.vm)
 
 let run_baseline ?config ?max_instructions ?(pics = default_pics) prog =
   let vm = Interp.create ?config ?max_instructions prog in
@@ -60,6 +77,7 @@ let run_baseline ?config ?max_instructions ?(pics = default_pics) prog =
 let cct session = Runtime.cct (Interp.runtime session.vm)
 
 let path_profile session =
+  Trace.with_span session.trace "extract.profile" @@ fun () ->
   let vm = session.vm in
   let rt = Interp.runtime vm in
   let procs =

@@ -13,19 +13,33 @@ type session = {
   instrumented : Pp_ir.Program.t;
   manifest : Instrument.manifest;
   vm : Pp_vm.Interp.t;
+  trace : Pp_telemetry.Trace.t;
+      (** the session's telemetry sink; {!Pp_telemetry.Trace.null} unless
+          [prepare] was given one *)
 }
 
 (** Instrument for [mode], build a VM, register the runtime tables and
     select the PIC events (default: [Dcache_misses], [Instructions] — the
     Table 4/5 configuration).  [pruner] enables static path-feasibility
     pruning: CCT per-record path tables are sized by the certified
-    feasible count instead of the full potential-path count. *)
+    feasible count instead of the full potential-path count.
+
+    [telemetry] receives [instrument] / [vm.setup] / [execute] /
+    [extract.profile] spans from the session's phases; when
+    [telemetry_interval] is also given, the VM samples its counters into
+    the sink every that many simulated cycles
+    ({!Pp_vm.Interp.set_telemetry}).  The default sink is
+    {!Pp_telemetry.Trace.null}, under which every telemetry call site is
+    a dead branch — results and profiles are byte-identical with
+    telemetry off. *)
 val prepare :
   ?options:Instrument.options ->
   ?pruner:Instrument.pruner ->
   ?config:Pp_machine.Config.t ->
   ?max_instructions:int ->
   ?pics:Event.t * Event.t ->
+  ?telemetry:Pp_telemetry.Trace.t ->
+  ?telemetry_interval:int ->
   mode:Instrument.mode ->
   Pp_ir.Program.t ->
   session

@@ -51,7 +51,19 @@ let default_budget = 400_000_000
 
 let counter counters e = try List.assoc e counters with Not_found -> 0
 
-let measure ?(budget = default_budget) task =
+(* Worker-side metrics: recorded into [Metrics.default] so the pool
+   ships them back to the parent.  Deterministic values only (simulated
+   cycles/instructions), never wall clock — the dump must be
+   byte-identical at any --jobs. *)
+let record_metrics task (c : cell) =
+  let m = Pp_telemetry.Metrics.default in
+  Pp_telemetry.Metrics.incr m "matrix.cells" 1;
+  Pp_telemetry.Metrics.incr m
+    (Printf.sprintf "matrix.%s.instructions" (config_name task.config))
+    c.instructions;
+  Pp_telemetry.Metrics.observe m "matrix.cycles" c.cycles
+
+let measure_cell ?(budget = default_budget) task =
   let w =
     match Registry.find task.workload with
     | Some w -> w
@@ -119,9 +131,16 @@ let measure ?(budget = default_budget) task =
         saved;
       }
 
-let run ?jobs ?timeout ?budget tasks =
-  let outcomes = Pool.map ?jobs ?timeout (measure ?budget) tasks in
-  List.map2 (fun t o -> (t, o)) tasks outcomes
+let measure ?budget task =
+  let cell = measure_cell ?budget task in
+  record_metrics task cell;
+  cell
+
+let run_stats ?jobs ?timeout ?budget tasks =
+  let outcomes, stats = Pool.map_stats ?jobs ?timeout (measure ?budget) tasks in
+  (List.map2 (fun t o -> (t, o)) tasks outcomes, stats)
+
+let run ?jobs ?timeout ?budget tasks = fst (run_stats ?jobs ?timeout ?budget tasks)
 
 (* The report is a pure function of the outcome list, which the pool returns
    in task order: byte-identical output at any --jobs. *)

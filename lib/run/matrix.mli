@@ -34,7 +34,10 @@ val tasks : ?workloads:string list -> ?configs:config list -> unit -> task list
 
 val default_budget : int
 
-(** Measure one task in the calling process.
+(** Measure one task in the calling process.  Also records deterministic
+    per-cell metrics ([matrix.cells], [matrix.<config>.instructions],
+    [matrix.cycles]) into [Pp_telemetry.Metrics.default], which the pool
+    ships back from workers.
     @raise Failure on an unknown workload; traps propagate. *)
 val measure : ?budget:int -> task -> cell
 
@@ -45,6 +48,15 @@ val run :
   ?budget:int ->
   task list ->
   (task * cell Pool.outcome) list
+
+(** {!run} plus the pool's per-task wall times and outcome counts, for
+    the stderr summary footer. *)
+val run_stats :
+  ?jobs:int ->
+  ?timeout:float ->
+  ?budget:int ->
+  task list ->
+  (task * cell Pool.outcome) list * Pool.stats
 
 (** Render the matrix; crashed and timed-out shards appear as their own
     rows, so one dying workload never hides the rest. *)

@@ -1,7 +1,21 @@
+module Metrics = Pp_telemetry.Metrics
+
 type 'a outcome =
   | Done of 'a
   | Crashed of string
   | Timed_out of float
+
+type task_stat = { task : int; wall : float; status : string }
+
+type stats = {
+  jobs : int;
+  tasks : int;
+  ok : int;
+  crashed : int;
+  timed_out : int;
+  total_wall : float;
+  task_stats : task_stat list;
+}
 
 type job = {
   index : int;
@@ -14,18 +28,23 @@ type job = {
 let chunk = Bytes.create 65536
 
 (* One worker: fork, evaluate, marshal the result (or the exception's
-   rendering) back over a pipe, exit without running at_exit handlers. *)
+   rendering) back over a pipe together with the worker's metrics delta,
+   and exit without running at_exit handlers.  The delta is against the
+   registry as inherited at fork, so parent-recorded values never
+   double-count when absorbed back. *)
 let spawn ~index ~deadline f x =
   let rd, wr = Unix.pipe ~cloexec:false () in
   match Unix.fork () with
   | 0 ->
       Unix.close rd;
+      let at_fork = Metrics.snapshot Metrics.default in
       let payload =
         match f x with
         | v -> Ok v
         | exception e -> Error (Printexc.to_string e)
       in
-      let bytes = Marshal.to_bytes payload [] in
+      let delta = Metrics.diff (Metrics.snapshot Metrics.default) at_fork in
+      let bytes = Marshal.to_bytes (payload, delta) [] in
       let oc = Unix.out_channel_of_descr wr in
       output_bytes oc bytes;
       flush oc;
@@ -34,15 +53,39 @@ let spawn ~index ~deadline f x =
       Unix._exit 0
   | pid ->
       Unix.close wr;
+      (* Nonblocking so the parent can drain a readable pipe to EAGAIN
+         without wedging on the last partial chunk. *)
+      Unix.set_nonblock rd;
       { index; pid; fd = rd; buf = Buffer.create 1024; deadline }
+
+(* Drain everything currently buffered in the pipe.  A single [read]
+   returns an arbitrary prefix of the worker's payload — results larger
+   than the pipe capacity arrive in many pieces — so loop until the pipe
+   reports empty ([`More]) or closed ([`Eof]). *)
+let drain job =
+  let rec go () =
+    match Unix.read job.fd chunk 0 (Bytes.length chunk) with
+    | 0 -> `Eof
+    | k ->
+        Buffer.add_subbytes job.buf chunk 0 k;
+        go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        `More
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
 
 let finish job results status =
   Unix.close job.fd;
   (match status with
   | Unix.WEXITED 0 when Buffer.length job.buf > 0 -> (
       match Marshal.from_bytes (Buffer.to_bytes job.buf) 0 with
-      | Ok v -> results.(job.index) <- Some (Done v)
-      | Error msg -> results.(job.index) <- Some (Crashed msg)
+      | Ok v, delta ->
+          Metrics.absorb Metrics.default delta;
+          results.(job.index) <- Some (Done v)
+      | Error msg, delta ->
+          Metrics.absorb Metrics.default delta;
+          results.(job.index) <- Some (Crashed msg)
       | exception _ ->
           results.(job.index) <- Some (Crashed "worker sent a torn result"))
   | Unix.WEXITED 0 ->
@@ -68,6 +111,7 @@ let map_forked ~jobs ~timeout f xs =
   let live = ref [] in
   let now () = Unix.gettimeofday () in
   let start = Array.make n 0.0 in
+  let wall = Array.make n 0.0 in
   while !next < n || !live <> [] do
     (* Fill free slots. *)
     while !next < n && List.length !live < jobs do
@@ -97,46 +141,110 @@ let map_forked ~jobs ~timeout f xs =
     List.iter
       (fun job ->
         if List.mem job.fd readable then begin
-          let k = Unix.read job.fd chunk 0 (Bytes.length chunk) in
-          if k > 0 then begin
-            Buffer.add_subbytes job.buf chunk 0 k;
-            still_live := job :: !still_live
-          end
-          else begin
-            (* EOF: worker finished (or died); reap it. *)
-            let _, status = Unix.waitpid [] job.pid in
-            finish job results status
-          end
+          match drain job with
+          | `More -> still_live := job :: !still_live
+          | `Eof ->
+              (* Worker finished (or died); reap it. *)
+              let _, status = Unix.waitpid [] job.pid in
+              wall.(job.index) <- now () -. start.(job.index);
+              finish job results status
         end
         else
           match job.deadline with
           | Some d when now () >= d ->
-              kill_and_reap job results (now () -. start.(job.index))
+              let elapsed = now () -. start.(job.index) in
+              wall.(job.index) <- elapsed;
+              kill_and_reap job results elapsed
           | _ -> still_live := job :: !still_live)
       !live;
     live := List.rev !still_live
   done;
-  Array.to_list (Array.map Option.get results)
+  (Array.to_list (Array.map Option.get results), Array.to_list wall)
 
 let map_inline f xs =
   List.map
     (fun x ->
-      match f x with
-      | v -> Done v
-      | exception e -> Crashed (Printexc.to_string e))
+      let t0 = Unix.gettimeofday () in
+      let outcome =
+        match f x with
+        | v -> Done v
+        | exception e -> Crashed (Printexc.to_string e)
+      in
+      (outcome, Unix.gettimeofday () -. t0))
     xs
+  |> List.split
 
 let can_fork =
   (* Unix.fork is unavailable on Windows; degrade to in-process there. *)
   not Sys.win32
 
-let map ?(jobs = 1) ?timeout f xs =
-  if jobs <= 1 || not can_fork then map_inline f xs
-  else map_forked ~jobs ~timeout f xs
-
-let outcome_ok = function Done v -> Some v | Crashed _ | Timed_out _ -> None
-
 let describe = function
   | Done _ -> "ok"
   | Crashed msg -> "crashed: " ^ msg
   | Timed_out t -> Printf.sprintf "timed out after %.1fs" t
+
+let stats_of ~jobs ~t0 outcomes walls =
+  let count p = List.length (List.filter p outcomes) in
+  let ok = count (function Done _ -> true | _ -> false) in
+  let crashed = count (function Crashed _ -> true | _ -> false) in
+  let timed_out = count (function Timed_out _ -> true | _ -> false) in
+  let task_stats =
+    List.mapi
+      (fun i (o, w) -> { task = i; wall = w; status = describe o })
+      (List.combine outcomes walls)
+  in
+  let m = Metrics.default in
+  Metrics.incr m "pool.tasks" (List.length outcomes);
+  Metrics.incr m "pool.ok" ok;
+  Metrics.incr m "pool.crashed" crashed;
+  Metrics.incr m "pool.timed_out" timed_out;
+  {
+    jobs;
+    tasks = List.length outcomes;
+    ok;
+    crashed;
+    timed_out;
+    total_wall = Unix.gettimeofday () -. t0;
+    task_stats;
+  }
+
+let map_stats ?(jobs = 1) ?timeout f xs =
+  let t0 = Unix.gettimeofday () in
+  let jobs = if can_fork then max 1 jobs else 1 in
+  let outcomes, walls =
+    if jobs <= 1 then map_inline f xs else map_forked ~jobs ~timeout f xs
+  in
+  (outcomes, stats_of ~jobs ~t0 outcomes walls)
+
+let map ?jobs ?timeout f xs = fst (map_stats ?jobs ?timeout f xs)
+
+let outcome_ok = function Done v -> Some v | Crashed _ | Timed_out _ -> None
+
+let footer s =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "pool: %d task%s over %d job%s in %.2fs (%d ok"
+    s.tasks
+    (if s.tasks = 1 then "" else "s")
+    s.jobs
+    (if s.jobs = 1 then "" else "s")
+    s.total_wall s.ok;
+  if s.crashed > 0 then Printf.bprintf buf ", %d crashed" s.crashed;
+  if s.timed_out > 0 then Printf.bprintf buf ", %d timed out" s.timed_out;
+  Buffer.add_string buf ")\n";
+  (match
+     List.fold_left
+       (fun acc t -> match acc with
+         | Some best when best.wall >= t.wall -> acc
+         | _ -> Some t)
+       None s.task_stats
+   with
+  | Some slowest when s.tasks > 1 ->
+      Printf.bprintf buf "  slowest task %d: %.2fs\n" slowest.task
+        slowest.wall
+  | _ -> ());
+  List.iter
+    (fun t ->
+      if t.status <> "ok" then
+        Printf.bprintf buf "  task %d: %s (%.2fs)\n" t.task t.status t.wall)
+    s.task_stats;
+  Buffer.contents buf

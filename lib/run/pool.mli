@@ -5,7 +5,12 @@
     down only its own shard: the parent reports the loss and the rest of the
     matrix completes.  Results come back in task order regardless of
     completion order, which is what makes parallel reports byte-identical to
-    serial ones. *)
+    serial ones.
+
+    Workers also ship their {!Pp_telemetry.Metrics} delta (what they
+    recorded into [Metrics.default] since the fork) alongside the result;
+    the parent absorbs it, so metrics aggregate identically at any
+    [jobs]. *)
 
 type 'a outcome =
   | Done of 'a
@@ -14,6 +19,22 @@ type 'a outcome =
           signal *)
   | Timed_out of float  (** killed after running this many seconds *)
 
+type task_stat = {
+  task : int;  (** input-order index *)
+  wall : float;  (** seconds the worker ran *)
+  status : string;  (** {!describe} of its outcome *)
+}
+
+type stats = {
+  jobs : int;
+  tasks : int;
+  ok : int;
+  crashed : int;
+  timed_out : int;
+  total_wall : float;  (** seconds from first spawn to last reap *)
+  task_stats : task_stat list;  (** in task order *)
+}
+
 (** [map ~jobs ~timeout f xs] evaluates [f] over [xs] with at most [jobs]
     concurrent workers, returning outcomes in input order.
 
@@ -21,8 +42,26 @@ type 'a outcome =
     in-process (exceptions still isolate as [Crashed], but [timeout] is not
     enforced: there is no process to kill).  Results must be marshalable
     (no closures); a torn or unreadable result is reported as [Crashed],
-    never silently dropped. *)
+    never silently dropped.  Result pipes are drained with a loop — a
+    payload larger than the pipe capacity arrives as many partial reads,
+    never torn. *)
 val map : ?jobs:int -> ?timeout:float -> ('a -> 'b) -> 'a list -> 'b outcome list
+
+(** {!map} plus per-task wall times and outcome counts for the summary
+    footer.  Also bumps the [pool.tasks] / [pool.ok] / [pool.crashed] /
+    [pool.timed_out] counters in [Metrics.default] (jobs-independent, so
+    metric dumps stay byte-identical at any [--jobs]). *)
+val map_stats :
+  ?jobs:int ->
+  ?timeout:float ->
+  ('a -> 'b) ->
+  'a list ->
+  'b outcome list * stats
+
+(** Human-readable multi-line summary: task/job counts, elapsed time, the
+    slowest task, and one line per crashed or timed-out task.  Wall-clock
+    dependent — print to stderr, never into golden stdout. *)
+val footer : stats -> string
 
 (** [Some v] for [Done v]. *)
 val outcome_ok : 'a outcome -> 'a option

@@ -53,6 +53,10 @@ type t = {
   mutable trace : (string * int) array;  (* empty = off *)
   mutable trace_next : int;
   mutable trace_filled : bool;
+  (* Self-telemetry: periodic counter samples into a trace sink. *)
+  mutable telemetry : Pp_telemetry.Trace.t;
+  mutable tl_interval : int;  (* simulated cycles; 0 = off *)
+  mutable tl_next : int;
 }
 
 let linkage_bytes = 32
@@ -147,6 +151,9 @@ let create ?(config = Pp_machine.Config.default)
     trace = [||];
     trace_next = 0;
     trace_filled = false;
+    telemetry = Pp_telemetry.Trace.null;
+    tl_interval = 0;
+    tl_next = 0;
   }
 
 let enable_block_trace t ~capacity =
@@ -191,6 +198,27 @@ let take_samples t =
     | None -> Hashtbl.replace t.samples t.call_stack (ref 1));
     t.next_sample <- t.next_sample + t.sample_interval
   done
+
+let set_telemetry t ~trace ~interval =
+  if interval <= 0 then invalid_arg "Interp.set_telemetry: interval <= 0";
+  t.telemetry <- trace;
+  t.tl_interval <- interval;
+  t.tl_next <- Machine.now t.machine + interval
+
+let take_telemetry t =
+  let now = Machine.now t.machine in
+  if now >= t.tl_next then begin
+    let counters = Machine.counters t.machine in
+    let pic0, pic1 = Counters.selection counters in
+    Pp_telemetry.Trace.counter t.telemetry "vm"
+      [
+        ("cycles", now);
+        ("instructions", Counters.total counters Event.Instructions);
+        (Event.name pic0, Counters.total counters pic0);
+        (Event.name pic1, Counters.total counters pic1);
+      ];
+    t.tl_next <- now + t.tl_interval
+  end
 
 let select_pics t ~pic0 ~pic1 =
   Counters.select (Machine.counters t.machine) ~pic0 ~pic1
@@ -287,6 +315,7 @@ let rec exec_proc t image ~iargs ~fargs =
     done;
     check_budget t;
     if t.sample_interval > 0 then take_samples t;
+    if t.tl_interval > 0 then take_telemetry t;
     let taddr = image.term_addr.(label) in
     Machine.fetch mach ~addr:taddr;
     match (Proc.block p label).term with

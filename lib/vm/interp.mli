@@ -58,6 +58,19 @@ val enable_block_trace : t -> capacity:int -> unit
 (** Most recent first; empty when tracing is off. *)
 val recent_blocks : t -> (string * Pp_ir.Block.label) list
 
+(** {2 Self-telemetry}
+
+    Periodic counter samples ([ph:"C"] events named ["vm"]: cycles,
+    instructions and both selected PIC totals) into a
+    {!Pp_telemetry.Trace} sink, taken on block boundaries every
+    [interval] simulated cycles.  Off by default — the sink starts as
+    {!Pp_telemetry.Trace.null} and the sampling branch is guarded by the
+    interval, so an un-telemetered run does no extra work and its
+    results are byte-identical. *)
+
+(** Enable before {!run}.  @raise Invalid_argument if [interval <= 0]. *)
+val set_telemetry : t -> trace:Pp_telemetry.Trace.t -> interval:int -> unit
+
 (** {2 Stack sampling}
 
     The Goldberg–Hall style comparison profiler of the paper's §7.2: every

@@ -28,4 +28,5 @@ let () =
       ("mutation", Test_mutation.suite);
       ("merge", Test_merge.suite);
       ("parallel", Test_parallel.suite);
+      ("telemetry", Test_telemetry.suite);
     ]

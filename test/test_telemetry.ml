@@ -1,0 +1,417 @@
+(* The self-telemetry layer: span nesting and ring-truncation repair in
+   the tracer, the metrics merge algebra (the same laws Profile.merge
+   obeys, over counters / gauges / histograms), the pool's metrics pipe
+   protocol, largest-remainder apportionment in the overhead accountant,
+   and the zero-perturbation guard: a session traced with telemetry must
+   produce a byte-identical path profile to an untraced one. *)
+
+module Trace = Pp_telemetry.Trace
+module Metrics = Pp_telemetry.Metrics
+module Overhead = Pp_overhead.Overhead
+module Pool = Pp_run.Pool
+module Driver = Pp_instrument.Driver
+module Instrument = Pp_instrument.Instrument
+module Profile_io = Pp_core.Profile_io
+
+(* A clock that ticks 1ms per call: the first call (creation) reads 0,
+   so event n lands at exactly n milliseconds. *)
+let ticking_clock () =
+  let t = ref 0.0 in
+  fun () ->
+    let v = !t in
+    t := v +. 0.001;
+    v
+
+let count_sub hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i acc =
+    if i + n > h then acc
+    else if String.sub hay i n = needle then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let json_balanced j = count_sub j "\"ph\":\"B\"" = count_sub j "\"ph\":\"E\""
+
+(* {2 Tracer} *)
+
+let test_span_nesting () =
+  let tr = Trace.create ~clock:(ticking_clock ()) () in
+  let r =
+    Trace.with_span tr "outer" (fun () ->
+        Trace.with_span tr "inner" (fun () -> 42))
+  in
+  Alcotest.(check int) "with_span passes the value through" 42 r;
+  Alcotest.(check int) "depth returns to zero" 0 (Trace.depth tr);
+  let shape =
+    List.map
+      (function
+        | Trace.Begin { name; _ } -> "B:" ^ name
+        | Trace.End { name; _ } -> "E:" ^ name
+        | Trace.Counter { name; _ } -> "C:" ^ name
+        | Trace.Instant { name; _ } -> "I:" ^ name)
+      (Trace.events tr)
+  in
+  Alcotest.(check (list string))
+    "spans nest" [ "B:outer"; "B:inner"; "E:inner"; "E:outer" ] shape
+
+let test_span_end_on_raise () =
+  let tr = Trace.create ~clock:(ticking_clock ()) () in
+  (try Trace.with_span tr "doomed" (fun () -> raise Exit)
+   with Exit -> ());
+  Alcotest.(check int) "depth unwound" 0 (Trace.depth tr);
+  Alcotest.(check int) "begin and end recorded" 2
+    (List.length (Trace.events tr))
+
+let test_null_records_nothing () =
+  Trace.begin_span Trace.null "a";
+  Trace.counter Trace.null "c" [ ("x", 1) ];
+  Trace.instant Trace.null "i";
+  Trace.end_span Trace.null "a";
+  Alcotest.(check bool) "disabled" false (Trace.enabled Trace.null);
+  Alcotest.(check (list unit)) "no events" []
+    (List.map ignore (Trace.events Trace.null));
+  Alcotest.(check string) "empty export"
+    "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}"
+    (Trace.to_chrome_json Trace.null)
+
+let test_trace_golden () =
+  let tr = Trace.create ~clock:(ticking_clock ()) () in
+  Trace.begin_span tr "compile";
+  Trace.counter tr "vm" [ ("cycles", 42) ];
+  Trace.instant tr "trap";
+  Trace.end_span tr "compile";
+  Alcotest.(check string) "text export"
+    "[    1.000ms] compile\n\
+    \  [    2.000ms] counter vm cycles=42\n\
+    \  [    3.000ms] instant trap\n\
+     [    4.000ms] compile done (3.000ms)\n"
+    (Trace.to_text tr);
+  Alcotest.(check string) "chrome export"
+    ("{\"traceEvents\":["
+   ^ "{\"name\":\"compile\",\"cat\":\"pp\",\"ph\":\"B\",\"ts\":1000.000,\"pid\":1,\"tid\":1},"
+   ^ "{\"name\":\"vm\",\"cat\":\"pp\",\"ph\":\"C\",\"ts\":2000.000,\"pid\":1,\"tid\":1,\"args\":{\"cycles\":42}},"
+   ^ "{\"name\":\"trap\",\"cat\":\"pp\",\"ph\":\"i\",\"ts\":3000.000,\"pid\":1,\"tid\":1,\"s\":\"t\"},"
+   ^ "{\"name\":\"compile\",\"cat\":\"pp\",\"ph\":\"E\",\"ts\":4000.000,\"pid\":1,\"tid\":1}"
+   ^ "],\"displayTimeUnit\":\"ms\"}")
+    (Trace.to_chrome_json tr)
+
+let test_truncation_repair () =
+  (* A tiny ring drops the Begin of the first span; its orphan End must
+     not reach the export. *)
+  let tr = Trace.create ~clock:(ticking_clock ()) ~capacity:3 () in
+  Trace.begin_span tr "a";
+  Trace.begin_span tr "b";
+  Trace.end_span tr "b";
+  Trace.end_span tr "a";
+  Alcotest.(check int) "one event dropped" 1 (Trace.dropped tr);
+  let j = Trace.to_chrome_json tr in
+  Alcotest.(check bool) "orphan end repaired" true (json_balanced j);
+  (* Spans still open at export get synthetic closers. *)
+  let tr = Trace.create ~clock:(ticking_clock ()) () in
+  Trace.begin_span tr "open1";
+  Trace.begin_span tr "open2";
+  Trace.instant tr "mark";
+  let j = Trace.to_chrome_json tr in
+  Alcotest.(check int) "both ends synthesized" 2 (count_sub j "\"ph\":\"E\"");
+  Alcotest.(check bool) "balanced" true (json_balanced j)
+
+(* Random walks over open/close decisions, replayed onto rings of random
+   capacity: whatever the ring dropped, the export stays balanced. *)
+let prop_spans_balanced =
+  QCheck.Test.make ~name:"trace export is B/E-balanced under truncation"
+    ~count:200
+    QCheck.(pair (small_list small_nat) (int_range 1 12))
+    (fun (walk, capacity) ->
+      let tr = Trace.create ~clock:(ticking_clock ()) ~capacity () in
+      List.iter
+        (fun step ->
+          if step mod 2 = 0 then
+            Trace.begin_span tr (Printf.sprintf "s%d" (step / 2))
+          else if Trace.depth tr > 0 then Trace.end_span tr "s"
+          else Trace.instant tr "i")
+        walk;
+      json_balanced (Trace.to_chrome_json tr)
+      && Trace.to_text tr <> "no"
+      (* to_text must not raise on the same repaired stream *))
+
+(* {2 Metrics algebra} *)
+
+(* Snapshots are generated by replaying random operations against a fresh
+   registry, so every generated value is reachable through the public
+   API.  Names are drawn from a fixed pool with fixed kinds so merges
+   never see a kind mismatch. *)
+type op = Op_incr of int * int | Op_gauge of int * int | Op_obs of int * int
+
+let apply_op r = function
+  | Op_incr (i, n) -> Metrics.incr r (Printf.sprintf "c.%d" (i mod 3)) n
+  | Op_gauge (i, n) -> Metrics.set_gauge r (Printf.sprintf "g.%d" (i mod 2)) n
+  | Op_obs (i, n) -> Metrics.observe r (Printf.sprintf "h.%d" (i mod 3)) n
+
+let snapshot_of_ops ops =
+  let r = Metrics.create () in
+  List.iter (apply_op r) ops;
+  Metrics.snapshot r
+
+let gen_op =
+  QCheck.Gen.(
+    map2
+      (fun k (i, n) ->
+        match k mod 3 with
+        | 0 -> Op_incr (i, n)
+        | 1 -> Op_gauge (i, n)
+        | _ -> Op_obs (i, n))
+      (int_bound 2)
+      (pair (int_bound 5) (int_bound 1000)))
+
+let arb_ops = QCheck.make QCheck.Gen.(small_list gen_op)
+let arb_snapshot = QCheck.map snapshot_of_ops arb_ops
+
+let prop_merge_commutes =
+  QCheck.Test.make ~name:"metrics merge commutes" ~count:200
+    QCheck.(pair arb_snapshot arb_snapshot)
+    (fun (a, b) -> Metrics.merge a b = Metrics.merge b a)
+
+let prop_merge_assoc =
+  QCheck.Test.make ~name:"metrics merge associates" ~count:200
+    QCheck.(triple arb_snapshot arb_snapshot arb_snapshot)
+    (fun (a, b, c) ->
+      Metrics.merge a (Metrics.merge b c) = Metrics.merge (Metrics.merge a b) c)
+
+let prop_merge_identity =
+  QCheck.Test.make ~name:"empty is the merge identity" ~count:200 arb_snapshot
+    (fun a ->
+      Metrics.merge a Metrics.empty = a && Metrics.merge Metrics.empty a = a)
+
+(* The pool protocol's correctness law: what a worker recorded after the
+   fork, merged back into the parent's state, reconstructs the worker's
+   final state.  Gauges are excluded — diff keeps the absolute [after]
+   value, so the law holds for them only when they grow monotonically. *)
+let prop_diff_merge_roundtrip =
+  QCheck.Test.make ~name:"merge (diff after before) before = after"
+    ~count:200
+    QCheck.(pair arb_ops arb_ops)
+    (fun (ops1, ops2) ->
+      let monotone =
+        List.filter (function Op_gauge _ -> false | _ -> true)
+      in
+      let r = Metrics.create () in
+      List.iter (apply_op r) (monotone ops1);
+      let before = Metrics.snapshot r in
+      List.iter (apply_op r) (monotone ops2);
+      let after = Metrics.snapshot r in
+      Metrics.merge (Metrics.diff after before) before = after)
+
+let test_bucket_of () =
+  Alcotest.(check int) "zero" 0 (Metrics.bucket_of 0);
+  Alcotest.(check int) "negative" 0 (Metrics.bucket_of (-7));
+  Alcotest.(check int) "one" 1 (Metrics.bucket_of 1);
+  List.iter
+    (fun v ->
+      let k = Metrics.bucket_of v in
+      Alcotest.(check bool)
+        (Printf.sprintf "2^(k-1) <= %d < 2^k" v)
+        true
+        (k >= 1 && (1 lsl (k - 1)) <= v && v < 1 lsl k))
+    [ 1; 2; 3; 4; 5; 7; 8; 100; 1023; 1024; 1 lsl 40 ]
+
+let test_dump_golden () =
+  let r = Metrics.create () in
+  Metrics.incr r "pool.tasks" 18;
+  Metrics.set_gauge r "run.shards" 4;
+  Metrics.observe r "matrix.cycles" 5;
+  Metrics.observe r "matrix.cycles" 100;
+  Alcotest.(check string) "canonical dump"
+    "hist matrix.cycles count=2 sum=105 b3=1 b7=1\n\
+     counter pool.tasks 18\n\
+     gauge run.shards 4\n"
+    (Metrics.dump (Metrics.snapshot r))
+
+let test_absorb_equals_merge () =
+  let a = snapshot_of_ops [ Op_incr (0, 3); Op_obs (1, 9); Op_gauge (0, 2) ] in
+  let b = snapshot_of_ops [ Op_incr (0, 4); Op_obs (1, 17); Op_gauge (0, 7) ] in
+  let r = Metrics.create () in
+  Metrics.absorb r a;
+  Metrics.absorb r b;
+  Alcotest.(check string) "absorb = merge"
+    (Metrics.dump (Metrics.merge a b))
+    (Metrics.dump (Metrics.snapshot r))
+
+let test_merge_kind_mismatch () =
+  match
+    Metrics.merge
+      [ ("x", Metrics.Counter 1) ]
+      [ ("x", Metrics.Gauge 1) ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument on kind mismatch"
+
+(* {2 The pool pipe protocol} *)
+
+let test_pool_oversized_payload () =
+  (* 8 MB is two orders of magnitude past the pipe buffer: the payload
+     arrives as dozens of partial reads which the drain loop must
+     reassemble, never tear. *)
+  let big = 8 * 1024 * 1024 in
+  let outcomes = Pool.map ~jobs:2 (fun n -> String.make n 'x') [ big; 64 ] in
+  match outcomes with
+  | [ Pool.Done a; Pool.Done b ] ->
+      Alcotest.(check int) "oversized payload intact" big (String.length a);
+      Alcotest.(check bool) "content intact" true (a = String.make big 'x');
+      Alcotest.(check int) "small payload intact" 64 (String.length b)
+  | _ ->
+      Alcotest.failf "unexpected outcomes: %s"
+        (String.concat "; " (List.map Pool.describe outcomes))
+
+let metric_task i =
+  Metrics.incr Metrics.default "task.count" 1;
+  Metrics.observe Metrics.default "task.square" (i * i);
+  i
+
+let test_pool_metrics_jobs_independent () =
+  let run jobs =
+    Metrics.reset Metrics.default;
+    let _ = Pool.map_stats ~jobs metric_task [ 1; 2; 3; 4; 5; 6 ] in
+    Metrics.dump (Metrics.snapshot Metrics.default)
+  in
+  let serial = run 1 in
+  let forked = run 3 in
+  Alcotest.(check string) "dumps byte-identical at any jobs" serial forked;
+  Alcotest.(check bool) "task metrics flowed back" true
+    (count_sub forked "counter task.count 6" = 1)
+
+let test_pool_metrics_no_double_count () =
+  (* Values inherited from the parent at fork time must not be re-added
+     when the worker's delta comes back. *)
+  Metrics.reset Metrics.default;
+  Metrics.incr Metrics.default "task.count" 3;
+  let _ = Pool.map ~jobs:2 metric_task [ 1; 2; 3; 4 ] in
+  let s = Metrics.snapshot Metrics.default in
+  match List.assoc "task.count" s with
+  | Metrics.Counter n -> Alcotest.(check int) "3 inherited + 4 new" 7 n
+  | _ -> Alcotest.fail "task.count is not a counter"
+
+(* {2 Overhead accounting} *)
+
+let prop_apportion_exact =
+  QCheck.Test.make ~name:"apportionment sums exactly to the total" ~count:500
+    QCheck.(pair (int_range (-5000) 5000) (array_of_size Gen.(int_range 1 6)
+                                             (float_range 0.0 50.0)))
+    (fun (total, weights) ->
+      let shares = Overhead.apportion ~total weights in
+      Array.length shares = Array.length weights
+      && Array.fold_left ( + ) 0 shares = total)
+
+let test_apportion_zero_weights () =
+  Alcotest.(check (array int)) "all on the last index" [| 0; 0; 7 |]
+    (Overhead.apportion ~total:7 [| 0.0; 0.0; 0.0 |])
+
+let src =
+  {|
+int acc;
+int step(int x) {
+  if (x % 2 == 0) { return x / 2; }
+  return 3 * x + 1;
+}
+void main() {
+  int i;
+  for (i = 1; i < 12; i = i + 1) {
+    int n = i;
+    while (n != 1) { n = step(n); }
+    acc = acc + n;
+  }
+  print(acc);
+}
+|}
+
+let program = lazy (Pp_minic.Compile.program ~name:"telemetry_fixture" src)
+
+let test_overhead_exact_attribution () =
+  let r =
+    Overhead.compute ~budget:50_000_000
+      ~modes:[ Instrument.Flow_hw; Instrument.Edge_freq ]
+      ~program:"telemetry_fixture" (Lazy.force program)
+  in
+  Alcotest.(check (list (pair string string))) "no failures" [] r.failures;
+  (match Overhead.check r with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "attribution mismatch: %s" msg);
+  List.iter
+    (fun (row : Overhead.mode_row) ->
+      let sum f = List.fold_left (fun a x -> a + f x) 0 row.attributions in
+      Alcotest.(check int)
+        (row.mode ^ " cycles attributed exactly")
+        row.delta_cycles
+        (sum (fun (a : Overhead.attribution) -> a.cycles));
+      Alcotest.(check int)
+        (row.mode ^ " instructions attributed exactly")
+        row.delta_instructions
+        (sum (fun (a : Overhead.attribution) -> a.instructions)))
+    r.rows;
+  Alcotest.(check bool) "render carries the CI gate line" true
+    (count_sub (Overhead.render r) "attribution: ok" = 1)
+
+(* {2 Zero-perturbation guard} *)
+
+let test_no_telemetry_byte_identical () =
+  let prog = Lazy.force program in
+  let profile_with session =
+    ignore (Driver.run session);
+    Profile_io.to_string
+      (Profile_io.of_profile
+         ~program_hash:(Profile_io.program_hash prog)
+         ~mode:(Instrument.mode_name Instrument.Flow_hw)
+         (Driver.path_profile session))
+  in
+  let plain =
+    profile_with
+      (Driver.prepare ~max_instructions:50_000_000 ~mode:Instrument.Flow_hw
+         prog)
+  in
+  let tr = Trace.create () in
+  let traced =
+    profile_with
+      (Driver.prepare ~max_instructions:50_000_000 ~mode:Instrument.Flow_hw
+         ~telemetry:tr ~telemetry_interval:10_000 prog)
+  in
+  Alcotest.(check string) "profiles byte-identical under telemetry" plain
+    traced;
+  Alcotest.(check bool) "the trace did record the session" true
+    (Trace.events tr <> [])
+
+let suite =
+  [
+    Alcotest.test_case "spans nest and balance" `Quick test_span_nesting;
+    Alcotest.test_case "with_span closes on raise" `Quick
+      test_span_end_on_raise;
+    Alcotest.test_case "null sink records nothing" `Quick
+      test_null_records_nothing;
+    Alcotest.test_case "deterministic exports (fake clock)" `Quick
+      test_trace_golden;
+    Alcotest.test_case "ring truncation repaired" `Quick
+      test_truncation_repair;
+    QCheck_alcotest.to_alcotest prop_spans_balanced;
+    QCheck_alcotest.to_alcotest prop_merge_commutes;
+    QCheck_alcotest.to_alcotest prop_merge_assoc;
+    QCheck_alcotest.to_alcotest prop_merge_identity;
+    QCheck_alcotest.to_alcotest prop_diff_merge_roundtrip;
+    Alcotest.test_case "histogram bucket boundaries" `Quick test_bucket_of;
+    Alcotest.test_case "canonical dump golden" `Quick test_dump_golden;
+    Alcotest.test_case "absorb agrees with merge" `Quick
+      test_absorb_equals_merge;
+    Alcotest.test_case "kind mismatch rejected" `Quick
+      test_merge_kind_mismatch;
+    Alcotest.test_case "oversized pool payload survives partial reads"
+      `Quick test_pool_oversized_payload;
+    Alcotest.test_case "pool metrics identical at any jobs" `Quick
+      test_pool_metrics_jobs_independent;
+    Alcotest.test_case "fork inheritance never double-counts" `Quick
+      test_pool_metrics_no_double_count;
+    QCheck_alcotest.to_alcotest prop_apportion_exact;
+    Alcotest.test_case "zero weights fall to the last category" `Quick
+      test_apportion_zero_weights;
+    Alcotest.test_case "attribution sums exactly to the delta" `Quick
+      test_overhead_exact_attribution;
+    Alcotest.test_case "telemetry does not perturb the profile" `Quick
+      test_no_telemetry_byte_identical;
+  ]
