@@ -27,6 +27,9 @@ module Cct_io = Pp_core.Cct_io
 module Profile_io = Pp_core.Profile_io
 module Pool = Pp_run.Pool
 module Matrix = Pp_run.Matrix
+module Checkpoint = Pp_run.Checkpoint
+module Chaos = Pp_run.Chaos
+module Faults = Pp_run.Faults
 module Diag = Pp_ir.Diag
 module Trace = Pp_telemetry.Trace
 module Metrics = Pp_telemetry.Metrics
@@ -111,6 +114,17 @@ let require_positive ~flag v =
       (Diag.error (Diag.proc_loc "<cli>") "--%s must be positive (got %d)"
          flag v)
 
+let require_non_negative_f ~flag v =
+  if v < 0.0 then
+    exit_invalid
+      (Diag.error (Diag.proc_loc "<cli>") "--%s must be non-negative (got %g)"
+         flag v)
+
+(* A degraded run completed but with partial coverage (some shards
+   quarantined, salvaged or lost): distinct from operational failure (1)
+   and invalid usage (2) so CI can gate on it. *)
+let exit_degraded = 3
+
 (* --telemetry FILE on run/profile/bench: dump the global metrics
    registry after the command's work is done.  The dump is canonical and
    jobs-independent, so CI can diff it across --jobs values. *)
@@ -142,9 +156,12 @@ let merge_counters a b =
 
 let run_cmd =
   let doc = "Execute a program uninstrumented and report its counters." in
-  let action file workload budget counters shards jobs telemetry =
+  let action file workload budget counters shards jobs retries checkpoint_dir
+      telemetry =
     require_positive ~flag:"shards" shards;
     require_positive ~flag:"jobs" jobs;
+    require_positive ~flag:"retries" retries;
+    require_positive ~flag:"budget" budget;
     let record_run (r : Interp.result) =
       Metrics.incr Metrics.default "run.instructions" r.Interp.instructions;
       Metrics.incr Metrics.default "run.cycles" r.Interp.cycles
@@ -165,26 +182,57 @@ let run_cmd =
         | exception Interp.Trap msg -> exit_err ("trap: " ^ msg))
     | Ok prog -> (
         (* Sharded: the same run in [shards] isolated processes, counters
-           summed — the aggregate profile a sharded run matrix produces. *)
+           summed — the aggregate profile a sharded run matrix produces.
+           With --checkpoint-dir, each completed shard is persisted and a
+           re-invocation runs only the shards still missing; summing in
+           shard order keeps stdout byte-identical fresh vs resumed. *)
+        let key =
+          Printf.sprintf "%s:%d" (Profile_io.program_hash prog) budget
+        in
+        let results =
+          match checkpoint_dir with
+          | None -> Array.make shards None
+          | Some dir ->
+              Array.init shards (fun k -> Checkpoint.load ~dir ~key k)
+        in
+        let missing =
+          List.filter
+            (fun k -> results.(k) = None)
+            (List.init shards (fun i -> i))
+        in
+        let resumed = shards - List.length missing in
+        if resumed > 0 then
+          Printf.eprintf "pp: resumed %d of %d shards from checkpoints\n"
+            resumed shards;
         let outcomes, stats =
-          Pool.map_stats ~jobs
-            (fun shard ->
-              ignore shard;
+          Pool.map_retry ~jobs ~retries
+            (fun ~attempt:_ shard ->
               let r = Interp.run (Interp.create ~max_instructions:budget prog) in
               record_run r;
+              (* Persist from the worker, the moment the shard completes:
+                 a run killed mid-flight still leaves every finished
+                 shard resumable (the write is temp-file + atomic rename,
+                 so a kill can never leave a torn checkpoint). *)
+              Option.iter
+                (fun dir -> Checkpoint.save ~dir ~key shard r)
+                checkpoint_dir;
               r)
-            (List.init shards (fun i -> i))
+            missing
         in
         (* Wall-clock summary goes to stderr: stdout stays byte-identical
            at any --jobs. *)
         prerr_string (Pool.footer stats);
-        let ok = List.filter_map Pool.outcome_ok outcomes in
-        List.iteri
-          (fun i o ->
+        List.iter2
+          (fun k o ->
             match o with
-            | Pool.Done _ -> ()
-            | o -> Printf.eprintf "pp: shard %d %s\n" i (Pool.describe o))
-          outcomes;
+            | Pool.Done r -> results.(k) <- Some r
+            | o -> Printf.eprintf "pp: shard %d %s\n" k (Pool.describe o))
+          missing outcomes;
+        let ok =
+          List.filter_map
+            (fun k -> results.(k))
+            (List.init shards (fun i -> i))
+        in
         match ok with
         | [] -> exit_err "all shards failed"
         | first :: rest ->
@@ -215,7 +263,12 @@ let run_cmd =
                 merged
             end;
             Metrics.set_gauge Metrics.default "run.shards" shards;
-            write_telemetry telemetry)
+            write_telemetry telemetry;
+            if List.length ok < shards then begin
+              Printf.eprintf "pp: coverage: %d/%d shards (degraded)\n"
+                (List.length ok) shards;
+              exit exit_degraded
+            end)
   in
   let counters =
     Arg.(value & flag
@@ -231,9 +284,24 @@ let run_cmd =
     Arg.(value & opt int 1
          & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Shards to run concurrently.")
   in
+  let retries =
+    Arg.(value & opt int 1
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Attempt budget per shard: a crashed or timed-out shard \
+                   is rerun (with backoff) up to N times total before it \
+                   is quarantined.")
+  in
+  let checkpoint_dir =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint-dir" ] ~docv:"DIR"
+             ~doc:"Persist each completed shard's result in DIR and, on \
+                   re-invocation, run only the shards still missing.  The \
+                   resumed run's stdout is byte-identical to an \
+                   uninterrupted one.")
+  in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const action $ file $ workload_opt $ budget $ counters $ shards
-          $ jobs $ telemetry_opt)
+          $ jobs $ retries $ checkpoint_dir $ telemetry_opt)
 
 (* --- pp profile --- *)
 
@@ -324,6 +392,8 @@ let profile_cmd =
   in
   let action file workload budget mode pic0 pic1 top cct_out dot_out
       profile_out telemetry =
+    require_positive ~flag:"budget" budget;
+    require_positive ~flag:"top" top;
     match load ~file ~workload with
     | Error msg -> exit_err msg
     | Ok prog -> (
@@ -746,7 +816,9 @@ let check_cmd =
                     diags
                 end)
           modes;
-        if !failures > 0 then exit 1
+        (* Verifier findings are structured diagnostics: exit 2 like the
+           other diagnostic refusals, not operational failure. *)
+        if !failures > 0 then exit 2
   in
   let modes =
     Arg.(value & opt_all mode_conv []
@@ -790,6 +862,8 @@ let bench_cmd =
   in
   let action jobs timeout budget workloads modes telemetry =
     require_positive ~flag:"jobs" jobs;
+    require_positive ~flag:"budget" budget;
+    require_non_negative_f ~flag:"timeout" timeout;
     (match workloads with
     | [] -> ()
     | ws ->
@@ -872,7 +946,9 @@ let merge_cmd =
         match (a, b) with
         | Some a, Some b ->
             if Array.length a <> Array.length b then
-              exit_err "metric arity differs between shards";
+              exit_invalid
+                (Diag.error (Diag.proc_loc "<header>")
+                   "metric arity differs between shards");
             Array.init (Array.length a) (fun i -> a.(i) + b.(i))
         | Some a, None -> Array.copy a
         | None, Some b -> Array.copy b
@@ -887,7 +963,8 @@ let merge_cmd =
             | Some acc -> (
                 try Some (Cct.merge ~merge_data acc next)
                 with Invalid_argument msg ->
-                  exit_err (Printf.sprintf "%s: %s" path msg)))
+                  exit_invalid
+                    (Diag.error (Diag.proc_loc "<header>") "%s: %s" path msg)))
           None inputs
       in
       let merged = Option.get merged in
@@ -905,7 +982,7 @@ let merge_cmd =
         | Sys_error msg -> exit_err msg
       in
       match Profile_io.merge_all (List.map load inputs) with
-      | Error d -> exit_err (Diag.to_string d)
+      | Error d -> exit_invalid d
       | Ok merged ->
           Profile_io.to_file out merged;
           let freq, m0, m1 = Profile_io.totals merged in
@@ -948,6 +1025,7 @@ let trace_cmd =
   in
   let action file workload budget mode interval out text =
     require_positive ~flag:"interval" interval;
+    require_positive ~flag:"budget" budget;
     match load ~file ~workload with
     | Error msg -> exit_err msg
     | Ok prog ->
@@ -1028,6 +1106,7 @@ let overhead_cmd =
   in
   let action file workload budget modes jobs json_flag out =
     require_positive ~flag:"jobs" jobs;
+    require_positive ~flag:"budget" budget;
     match load ~file ~workload with
     | Error msg -> exit_err msg
     | Ok prog -> (
@@ -1086,6 +1165,141 @@ let overhead_cmd =
     Term.(const action $ file $ workload_opt $ budget $ modes $ jobs
           $ json_flag $ out)
 
+(* --- pp chaos --- *)
+
+let kind_conv =
+  Arg.enum
+    [
+      ("crash-heavy", Faults.Crash_heavy);
+      ("corruption-heavy", Faults.Corruption_heavy);
+      ("mixed", Faults.Mixed);
+    ]
+
+let chaos_cmd =
+  let doc =
+    "Run a seeded fault-injection experiment over a sharded profiling run \
+     — workers crash, stall, die mid-write, or their shards are corrupted \
+     on disk — and verify that the merged profile recovered from disk is \
+     byte-identical to a fault-free run.  Exits 3 if recovery was only \
+     partial (degraded coverage), 1 if the recovered profile differs."
+  in
+  let action file workload budget mode shards jobs retries timeout seed kind
+      dir telemetry =
+    require_positive ~flag:"shards" shards;
+    require_positive ~flag:"jobs" jobs;
+    require_positive ~flag:"retries" retries;
+    require_positive ~flag:"budget" budget;
+    require_non_negative_f ~flag:"timeout" timeout;
+    match load ~file ~workload with
+    | Error msg -> exit_err msg
+    | Ok prog -> (
+        (* Stalls must outlive the timeout or they are not faults. *)
+        let plan =
+          Faults.seeded ~stall:((2.0 *. timeout) +. 1.0) kind ~seed
+            ~tasks:shards
+        in
+        Printf.printf "plan: %s\n" (Faults.summary plan);
+        List.iter
+          (fun line -> Printf.printf "  %s\n" line)
+          (Faults.describe_plan plan);
+        match
+          Chaos.run ~dir ~mode ~budget ~jobs ~retries ~timeout ~plan ~shards
+            prog
+        with
+        | Error d -> exit_err (Diag.to_string d)
+        | Ok r ->
+            (* Wall-clock pool summary to stderr; the verdict below is
+               deterministic for a given seed, so stdout stays golden. *)
+            prerr_string (Pool.footer r.Chaos.stats);
+            print_newline ();
+            print_endline (Chaos.coverage r);
+            List.iteri
+              (fun k st ->
+                match st with
+                | Chaos.Recovered -> ()
+                | Chaos.Salvaged rep ->
+                    Printf.printf
+                      "shard %d: salvaged %d of %d records (damage at line \
+                       %d)\n"
+                      k rep.Profile_io.recovered rep.Profile_io.total
+                      rep.Profile_io.first_bad_line
+                | Chaos.Lost reason ->
+                    Printf.printf "shard %d: lost (%s)\n" k reason)
+              r.Chaos.states;
+            (match r.Chaos.merged with
+            | Some m ->
+                let freq, m0, m1 = Profile_io.totals m in
+                Printf.printf
+                  "recovered profile: %d procedures, freq=%d %s=%d %s=%d\n"
+                  (List.length m.Profile_io.procs)
+                  freq
+                  (Event.name m.Profile_io.pic0)
+                  m0
+                  (Event.name m.Profile_io.pic1)
+                  m1
+            | None -> print_endline "no profile recovered");
+            print_endline
+              (if r.Chaos.identical then
+                 "recovered profile is byte-identical to the fault-free \
+                  reference"
+               else "recovered profile DIFFERS from the fault-free reference");
+            write_telemetry telemetry;
+            if Chaos.degraded r then exit exit_degraded
+            else if not r.Chaos.identical then
+              exit_err "recovered profile differs from the fault-free \
+                        reference")
+  in
+  let mode =
+    Arg.(value & opt mode_conv Instrument.Flow_hw
+         & info [ "mode"; "m" ] ~docv:"MODE"
+             ~doc:"Path-profiling mode for the shards (flow-freq, flow-hw \
+                   or context-flow).")
+  in
+  let shards =
+    Arg.(value & opt int 4
+         & info [ "shards" ] ~docv:"K" ~doc:"Shards to profile and merge.")
+  in
+  let jobs =
+    Arg.(value & opt int 2
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Concurrent workers (keep > 1: stall faults are only \
+                   killable in forked workers).")
+  in
+  let retries =
+    Arg.(value & opt int 3
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Attempt budget per shard.  The plan only faults early \
+                   attempts, so 2 or more must converge to full coverage; \
+                   1 demonstrates degraded recovery.")
+  in
+  let timeout =
+    Arg.(value & opt float 10.0
+         & info [ "timeout" ] ~docv:"SECONDS"
+             ~doc:"Kill a shard after this long; injected stalls sleep \
+                   past it.")
+  in
+  let seed =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Fault-plan seed; the whole experiment is a deterministic \
+                   function of it.")
+  in
+  let kind =
+    Arg.(value & opt kind_conv Faults.Mixed
+         & info [ "kind" ] ~docv:"KIND"
+             ~doc:"Fault mix: crash-heavy, corruption-heavy or mixed.")
+  in
+  let dir =
+    Arg.(value & opt string "chaos-shards"
+         & info [ "dir" ] ~docv:"DIR"
+             ~doc:"Directory for the shard files (created if needed; \
+                   existing shard files are removed first).")
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(
+      const action $ file $ workload_opt $ budget $ mode $ shards $ jobs
+      $ retries $ timeout $ seed $ kind $ dir $ telemetry_opt)
+
 (* --- pp workloads --- *)
 
 let workloads_cmd =
@@ -1109,4 +1323,4 @@ let () =
   exit (Cmd.eval (Cmd.group info
                     [ run_cmd; profile_cmd; paths_cmd; cost_cmd; disasm_cmd;
                       check_cmd; bench_cmd; merge_cmd; trace_cmd;
-                      overhead_cmd; workloads_cmd ]))
+                      overhead_cmd; chaos_cmd; workloads_cmd ]))

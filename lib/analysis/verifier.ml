@@ -174,6 +174,7 @@ type commit = {
   ctable_ok : bool;
   cmetrics : bool;
   crezero : bool;
+  crezero_read : bool;  (** read-after-write follows the re-zero *)
 }
 
 (* Assemble the block's path commits from the scanner's raw events. *)
@@ -200,17 +201,33 @@ let commits_of_block ctx (sc : Scan.t) =
              | _ -> false)
            sc.Scan.events
     in
-    let rezero =
-      List.exists
-        (function Scan.Hw_zero { at = a } -> a > at | _ -> false)
-        sc.Scan.events
+    let rezero_at =
+      List.fold_left
+        (fun acc ev ->
+          match ev with
+          | Scan.Hw_zero { at = a } when a > at -> (
+              match acc with Some b when b <= a -> acc | _ -> Some a)
+          | _ -> acc)
+        None sc.Scan.events
+    in
+    (* The same read-after-write idiom the entry zeroing requires: a
+       backedge re-zero without a following PIC read leaves the write
+       incomplete, so the next path's readings are garbage. *)
+    let rezero_read =
+      match rezero_at with
+      | None -> false
+      | Some z ->
+          List.exists
+            (function Scan.Hw_read { at = a; _ } -> a > z | _ -> false)
+            sc.Scan.events
     in
     {
       cat = at;
       ckey = Scan.Path cell.Scan.key_off;
       ctable_ok = table_ok;
       cmetrics = metrics;
-      crezero = rezero;
+      crezero = rezero_at <> None;
+      crezero_read = rezero_read;
     }
   in
   List.filter_map
@@ -231,7 +248,9 @@ let commits_of_block ctx (sc : Scan.t) =
               ckey = key;
               ctable_ok = table_ok;
               cmetrics = hw_ok;
+              (* The runtime pseudo-op re-zeroes (and reads) internally. *)
               crezero = hw_ok;
+              crezero_read = hw_ok;
             }
       | _ -> None)
     sc.Scan.events
@@ -391,6 +410,10 @@ let verify_paths ctx (bl : BL.t) =
           | Kback _ ->
               if not c.crezero then
                 errf ctx loc "PICs are not re-zeroed after a backedge commit"
+              else if not c.crezero_read then
+                errf ctx loc
+                  "no PIC read after the backedge re-zero (needed to force \
+                   write completion)"
           | Kret _ | Kinterior -> ()
         end)
       commits;

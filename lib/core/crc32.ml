@@ -1,0 +1,44 @@
+(* CRC-32 (IEEE 802.3), table-driven, reflected, init/xorout 0xffffffff —
+   identical to zlib's crc32().  Masked to 32 bits so the value is a small
+   non-negative int on 64-bit OCaml. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let digest s =
+  let table = Lazy.force table in
+  let crc = ref 0xffffffff in
+  String.iter
+    (fun ch ->
+      crc := table.((!crc lxor Char.code ch) land 0xff) lxor (!crc lsr 8))
+    s;
+  !crc lxor 0xffffffff
+
+let tag line =
+  if String.contains line '\n' then invalid_arg "Crc32.tag: embedded newline";
+  Printf.sprintf "%s %08x" line (digest line)
+
+let untag line =
+  match String.rindex_opt line ' ' with
+  | None -> None
+  | Some i ->
+      let content = String.sub line 0 i in
+      let token = String.sub line (i + 1) (String.length line - i - 1) in
+      (* Exactly the 8 lowercase hex digits %08x emits: int_of_string
+         would also accept "0X", underscores and uppercase, which would
+         let some single-character damage in the token itself pass. *)
+      let canonical =
+        String.length token = 8
+        && String.for_all
+             (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+             token
+      in
+      if canonical && int_of_string ("0x" ^ token) = digest content then
+        Some content
+      else None

@@ -1,0 +1,25 @@
+(** CRC-32 (IEEE 802.3, the zlib polynomial) over strings, and the
+    checked-line convention built on it.
+
+    Fault-tolerant shard formats ({!Profile_io} version 2, the run
+    checkpoints in [Pp_run.Checkpoint]) append one CRC token to every
+    record line so a damaged file degrades to a detectable, salvageable
+    prefix instead of silently parsing into wrong numbers.  CRC-32
+    detects every single-bit flip and every burst error up to 32 bits —
+    exactly the corruption classes a torn write or a flipped disk bit
+    produces. *)
+
+(** [digest s] is the CRC-32 of [s], as a non-negative [int]
+    (fits in 32 bits). *)
+val digest : string -> int
+
+(** [tag line] appends the CRC token: ["content"] becomes
+    ["content <8-hex-digit-crc>"].  [line] must not contain a
+    newline. *)
+val tag : string -> string
+
+(** [untag line] verifies and strips the CRC token: [Some content] when
+    the last space-separated token of [line] is the CRC-32 of everything
+    before the separating space, [None] on a missing or mismatching
+    token (the line was damaged). *)
+val untag : string -> string option

@@ -147,39 +147,55 @@ let merge_all = function
 
 (* --- serialization ---
 
-   profile 1 <hash> <mode> <pic0> <pic1>
-   feasible <name-escaped> <num-feasible-paths>
-   proc <name-escaped> <num-potential-paths>
-   path <sum> <freq> <m0> <m1>
+   Version 2 (what to_string writes): every line carries a trailing
+   CRC-32 token, and the header carries the body record count, so a
+   damaged file degrades to a detectable valid prefix:
 
-   A proc record opens a section; its path records follow.  The optional
-   feasible records (one per statically pruned procedure) sit between the
-   header and the first proc. *)
+   profile 2 <hash> <mode> <pic0> <pic1> <nrecords> <crc>
+   feasible <name-escaped> <num-feasible-paths> <crc>
+   proc <name-escaped> <num-potential-paths> <crc>
+   path <sum> <freq> <m0> <m1> <crc>
 
-let to_string s =
-  let s = canonical s in
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf
-    (Printf.sprintf "profile 1 %s %s %s %s\n" s.program_hash
-       (Cct_io.escape s.mode)
-       (Cct_io.escape (Event.name s.pic0))
-       (Cct_io.escape (Event.name s.pic1)));
+   Version 1 (still read): the same records without CRC tokens or the
+   header count.  A proc record opens a section; its path records follow.
+   The optional feasible records sit between the header and the first
+   proc. *)
+
+let body_lines s =
+  let buf = ref [] in
+  let add l = buf := l :: !buf in
   List.iter
     (fun (name, k) ->
-      Buffer.add_string buf
-        (Printf.sprintf "feasible %s %d\n" (Cct_io.escape name) k))
+      add (Printf.sprintf "feasible %s %d" (Cct_io.escape name) k))
     s.feasible;
   List.iter
     (fun (name, npaths, paths) ->
-      Buffer.add_string buf
-        (Printf.sprintf "proc %s %d\n" (Cct_io.escape name) npaths);
+      add (Printf.sprintf "proc %s %d" (Cct_io.escape name) npaths);
       List.iter
         (fun (sum, (m : Profile.path_metrics)) ->
-          Buffer.add_string buf
-            (Printf.sprintf "path %d %d %d %d\n" sum m.Profile.freq
-               m.Profile.m0 m.Profile.m1))
+          add
+            (Printf.sprintf "path %d %d %d %d" sum m.Profile.freq m.Profile.m0
+               m.Profile.m1))
         paths)
     s.procs;
+  List.rev !buf
+
+let to_string s =
+  let s = canonical s in
+  let body = body_lines s in
+  let header =
+    Printf.sprintf "profile 2 %s %s %s %s %d" s.program_hash
+      (Cct_io.escape s.mode)
+      (Cct_io.escape (Event.name s.pic0))
+      (Cct_io.escape (Event.name s.pic1))
+      (List.length body)
+  in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun line ->
+      Buffer.add_string buf (Crc32.tag line);
+      Buffer.add_char buf '\n')
+    (header :: body);
   Buffer.contents buf
 
 exception Parse_error of int * string
@@ -187,15 +203,65 @@ exception Parse_error of int * string
 let fail line fmt =
   Format.kasprintf (fun s -> raise (Parse_error (line, s))) fmt
 
-let of_string text =
+(* Record dispatch shared by both format versions: [tokens] is one
+   record line split on spaces, CRC already stripped for v2. *)
+type pstate = {
+  mutable procs : (string * int * (int * Profile.path_metrics) list ref) list;
+      (* reversed *)
+  mutable feasible : (string * int) list;  (* reversed *)
+}
+
+let dispatch_record lineno st = function
+  | [ "feasible"; name; k ] ->
+      let k =
+        try int_of_string k
+        with Failure _ -> fail lineno "bad feasible count %S" k
+      in
+      st.feasible <- (Cct_io.unescape name, k) :: st.feasible
+  | [ "proc"; name; npaths ] ->
+      let npaths =
+        try int_of_string npaths
+        with Failure _ -> fail lineno "bad path count %S" npaths
+      in
+      st.procs <- (Cct_io.unescape name, npaths, ref []) :: st.procs
+  | [ "path"; sum; freq; m0; m1 ] -> (
+      let num s =
+        try int_of_string s with Failure _ -> fail lineno "bad int %S" s
+      in
+      match st.procs with
+      | [] -> fail lineno "path before proc"
+      | (_, _, paths) :: _ ->
+          paths :=
+            (num sum, { Profile.freq = num freq; m0 = num m0; m1 = num m1 })
+            :: !paths)
+  | word :: _ -> fail lineno "unknown record %S" word
+  | [] -> ()
+
+let finish_state ~header st =
+  let program_hash, mode, pic0, pic1 = header in
+  canonical
+    {
+      program_hash;
+      mode;
+      pic0;
+      pic1;
+      procs =
+        List.rev_map
+          (fun (name, npaths, paths) -> (name, npaths, List.rev !paths))
+          st.procs;
+      feasible = List.rev st.feasible;
+    }
+
+let parse_event lineno s =
+  match Event.of_name (Cct_io.unescape s) with
+  | Some e -> e
+  | None -> fail lineno "unknown event %S" s
+
+(* --- version 1 reader (no CRCs; trusted) --- *)
+
+let of_string_v1 lines =
   let header = ref None in
-  let procs = ref [] in  (* (name, npaths, paths_rev) list, reversed *)
-  let feasible = ref [] in
-  let event lineno s =
-    match Event.of_name (Cct_io.unescape s) with
-    | Some e -> e
-    | None -> fail lineno "unknown event %S" s
-  in
+  let st = { procs = []; feasible = [] } in
   List.iteri
     (fun i line ->
       let lineno = i + 1 in
@@ -208,60 +274,223 @@ let of_string text =
               Some
                 ( hash,
                   Cct_io.unescape mode,
-                  event lineno pic0,
-                  event lineno pic1 )
-        | [ "feasible"; name; k ] ->
-            if !header = None then fail lineno "feasible before header";
-            let k =
-              try int_of_string k
-              with Failure _ -> fail lineno "bad feasible count %S" k
-            in
-            feasible := (Cct_io.unescape name, k) :: !feasible
-        | [ "proc"; name; npaths ] ->
-            if !header = None then fail lineno "proc before header";
-            let npaths =
-              try int_of_string npaths
-              with Failure _ -> fail lineno "bad path count %S" npaths
-            in
-            procs := (Cct_io.unescape name, npaths, ref []) :: !procs
-        | [ "path"; sum; freq; m0; m1 ] -> (
-            let num s =
-              try int_of_string s with Failure _ -> fail lineno "bad int %S" s
-            in
-            match !procs with
-            | [] -> fail lineno "path before proc"
-            | (_, _, paths) :: _ ->
-                paths :=
-                  ( num sum,
-                    { Profile.freq = num freq; m0 = num m0; m1 = num m1 } )
-                  :: !paths)
-        | word :: _ -> fail lineno "unknown record %S" word
-        | [] -> ())
-    (String.split_on_char '\n' text);
+                  parse_event lineno pic0,
+                  parse_event lineno pic1 )
+        | tokens ->
+            if !header = None then
+              fail lineno "%s before header"
+                (match tokens with w :: _ -> w | [] -> "record");
+            dispatch_record lineno st tokens)
+    lines;
   match !header with
   | None -> raise (Parse_error (0, "empty or headerless input"))
-  | Some (program_hash, mode, pic0, pic1) ->
-      canonical
-        {
-          program_hash;
-          mode;
-          pic0;
-          pic1;
-          procs =
-            List.rev_map
-              (fun (name, npaths, paths) -> (name, npaths, List.rev !paths))
-              !procs;
-          feasible = List.rev !feasible;
-        }
+  | Some header -> finish_state ~header st
 
-let to_file path s =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string s))
+(* --- version 2 reader and salvage --- *)
 
-let of_file path =
+type salvage_report = { total : int; recovered : int; first_bad_line : int }
+
+(* Scan a version-2 shard front to back, CRC-checking every line, and
+   stop at the first damaged or structurally invalid record.  Returns
+   the parsed valid prefix plus a report when anything was dropped;
+   [Error (lineno, msg)] when even the header is unusable. *)
+let scan_v2 text =
+  let lines = Array.of_list (String.split_on_char '\n' text) in
+  if Array.length lines = 0 then Error (0, "empty input")
+  else
+    match Crc32.untag lines.(0) with
+    | None -> Error (1, "damaged or missing header checksum")
+    | Some content -> (
+        match String.split_on_char ' ' content with
+        | [ "profile"; "2"; hash; mode; pic0; pic1; total ] -> (
+            match
+              let total =
+                match int_of_string_opt total with
+                | Some n when n >= 0 -> n
+                | _ -> fail 1 "bad record count %S" total
+              in
+              ( ( hash,
+                  Cct_io.unescape mode,
+                  parse_event 1 pic0,
+                  parse_event 1 pic1 ),
+                total )
+            with
+            | exception Parse_error (ln, msg) -> Error (ln, msg)
+            | header, total ->
+                let st = { procs = []; feasible = [] } in
+                let recovered = ref 0 in
+                let bad = ref None in
+                let i = ref 1 in
+                while !bad = None && !i < Array.length lines do
+                  let lineno = !i + 1 in
+                  let line = lines.(!i) in
+                  if line = "" then
+                    (* The writer never emits blank lines: this is the
+                       trailing element after the final newline (end of
+                       file) or a damaged line.  Either way, stop. *)
+                    i := Array.length lines
+                  else if !recovered >= total then
+                    (* More records than the header promised: the tail
+                       was spliced or duplicated.  The promised prefix
+                       is intact; everything beyond it is suspect. *)
+                    bad := Some lineno
+                  else begin
+                    (match Crc32.untag line with
+                    | None -> bad := Some lineno
+                    | Some content -> (
+                        match
+                          dispatch_record lineno st
+                            (String.split_on_char ' ' content)
+                        with
+                        | () -> incr recovered
+                        | exception Parse_error _ -> bad := Some lineno));
+                    incr i
+                  end
+                done;
+                let saved = finish_state ~header st in
+                if !bad = None && !recovered = total then Ok (saved, None)
+                else
+                  Ok
+                    ( saved,
+                      Some
+                        {
+                          total;
+                          recovered = !recovered;
+                          first_bad_line =
+                            (match !bad with
+                            | Some ln -> ln
+                            | None -> !recovered + 2);
+                        } ))
+        | _ -> Error (1, "malformed version-2 header"))
+
+let is_v2 text =
+  let rec first = function
+    | [] -> None
+    | l :: rest ->
+        let l = String.trim l in
+        if l = "" then first rest else Some l
+  in
+  match first (String.split_on_char '\n' text) with
+  | Some l -> String.length l >= 10 && String.sub l 0 10 = "profile 2 "
+  | None -> false
+
+let of_string text =
+  if is_v2 text then
+    match scan_v2 text with
+    | Error (ln, msg) -> raise (Parse_error (ln, msg))
+    | Ok (s, None) -> s
+    | Ok (_, Some rep) ->
+        raise
+          (Parse_error
+             ( rep.first_bad_line,
+               Printf.sprintf
+                 "damaged shard: only %d of %d records are intact (salvage \
+                  readers can recover the valid prefix)"
+                 rep.recovered rep.total ))
+  else of_string_v1 (String.split_on_char '\n' text)
+
+(* The pseudo-procedure "<shard>" locates whole-file damage, the same
+   way merge mismatches sit at "<header>". *)
+let salvage_diag ~file rep =
+  Diag.error (Diag.proc_loc "<shard>")
+    "%s:%d: salvaged %d of %d records; dropped %d damaged or missing \
+     record%s"
+    file rep.first_bad_line rep.recovered rep.total (rep.total - rep.recovered)
+    (if rep.total - rep.recovered = 1 then "" else "s")
+
+let salvage_string text =
+  if is_v2 text then
+    match scan_v2 text with
+    | Ok result -> Ok result
+    | Error (ln, msg) ->
+        Error
+          (Diag.error (Diag.proc_loc "<shard>") "line %d: %s (header \
+                                                 unrecoverable)" ln msg)
+  else
+    (* Version 1 carries no checksums: either it parses in full or
+       nothing can be trusted. *)
+    match of_string_v1 (String.split_on_char '\n' text) with
+    | s -> Ok (s, None)
+    | exception Parse_error (ln, msg) ->
+        Error
+          (Diag.error (Diag.proc_loc "<shard>")
+             "line %d: %s (not a checksummed shard; cannot salvage)" ln msg)
+
+let read_all path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
-    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let salvage_file path =
+  match read_all path with
+  | text -> salvage_string text
+  | exception Sys_error msg ->
+      Error (Diag.error (Diag.proc_loc "<shard>") "%s" msg)
+
+(* --- writing: atomic rename, with injectable faults for chaos runs --- *)
+
+type write_fault =
+  | Die_mid_write
+  | Torn_write
+  | Flip_bit of int
+  | Truncate_at of int
+
+exception Killed_mid_write
+
+let write_raw path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let corrupt_file path f =
+  let text = read_all path in
+  write_raw path (f text)
+
+let flip_bit text k =
+  let bits = 8 * String.length text in
+  if bits = 0 then text
+  else
+    let k = ((k mod bits) + bits) mod bits in
+    let b = Bytes.of_string text in
+    Bytes.set b (k / 8)
+      (Char.chr (Char.code (Bytes.get b (k / 8)) lxor (1 lsl (k mod 8))));
+    Bytes.to_string b
+
+let truncate_at text k =
+  let n = String.length text in
+  if n = 0 then text
+  else
+    let k = ((k mod n) + n) mod n in
+    String.sub text 0 k
+
+let half text = String.sub text 0 (String.length text / 2)
+
+let temp_path path = path ^ ".tmp"
+
+let to_file ?fault path s =
+  let payload = to_string s in
+  match fault with
+  | Some Die_mid_write ->
+      (* The writer dies between opening the temp file and renaming it:
+         the destination is untouched (the previous version, if any,
+         survives intact), only a .tmp carcass is left behind. *)
+      write_raw (temp_path path) (half payload);
+      raise Killed_mid_write
+  | Some Torn_write ->
+      (* What a non-atomic writer leaves when killed: a partial file at
+         the destination itself.  This is the failure mode the
+         temp+rename discipline exists to prevent; injecting it
+         exercises the salvage reader. *)
+      write_raw path (half payload);
+      raise Killed_mid_write
+  | None | Some (Flip_bit _) | Some (Truncate_at _) -> (
+      write_raw (temp_path path) payload;
+      Sys.rename (temp_path path) path;
+      match fault with
+      | Some (Flip_bit k) -> corrupt_file path (fun t -> flip_bit t k)
+      | Some (Truncate_at k) -> corrupt_file path (fun t -> truncate_at t k)
+      | _ -> ())
+
+let of_file path = of_string (read_all path)

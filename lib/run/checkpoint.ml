@@ -1,0 +1,114 @@
+module Crc32 = Pp_core.Crc32
+module Interp = Pp_vm.Interp
+module Event = Pp_machine.Event
+
+let path ~dir k = Filename.concat dir (Printf.sprintf "shard-%d.ckpt" k)
+
+(* Line format, every line CRC-tagged ({!Crc32.tag}):
+     ckpt 1 <shard> <key> <instructions> <cycles> <nout> <ncounters>
+     out i <int> | out f <hexfloat>
+     counter <event-name> <value>
+   Floats are emitted as %h hex literals so they round-trip exactly —
+   a resumed run must reprint byte-identical output. *)
+
+let encode ~key k (r : Interp.result) =
+  let buf = Buffer.create 256 in
+  let line fmt =
+    Printf.ksprintf (fun s -> Buffer.add_string buf (Crc32.tag s ^ "\n")) fmt
+  in
+  line "ckpt 1 %d %s %d %d %d %d" k key r.Interp.instructions r.Interp.cycles
+    (List.length r.Interp.output)
+    (List.length r.Interp.counters);
+  List.iter
+    (function
+      | Interp.Oint n -> line "out i %d" n
+      | Interp.Ofloat x -> line "out f %h" x)
+    r.Interp.output;
+  List.iter
+    (fun (e, v) -> line "counter %s %d" (Event.name e) v)
+    r.Interp.counters;
+  Buffer.contents buf
+
+let save ~dir ~key k r =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let dst = path ~dir k in
+  let tmp = dst ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (encode ~key k r);
+  close_out oc;
+  Sys.rename tmp dst
+
+(* Decoding: any surprise — bad CRC, wrong key or shard number, counts
+   that disagree with the header, an unknown event — yields None and the
+   shard reruns. *)
+
+exception Reject
+
+let decode ~key k text =
+  let lines =
+    String.split_on_char '\n' text |> List.filter (fun l -> l <> "")
+  in
+  let checked =
+    List.map (fun l -> match Crc32.untag l with
+      | Some c -> c
+      | None -> raise Reject)
+      lines
+  in
+  match checked with
+  | header :: body -> (
+      match String.split_on_char ' ' header with
+      | [ "ckpt"; "1"; shard; key'; insts; cycles; nout; ncounters ]
+        when int_of_string_opt shard = Some k && key' = key ->
+          let int s =
+            match int_of_string_opt s with Some n -> n | None -> raise Reject
+          in
+          let nout = int nout and ncounters = int ncounters in
+          if List.length body <> nout + ncounters then raise Reject;
+          let out_lines, counter_lines =
+            (List.filteri (fun i _ -> i < nout) body,
+             List.filteri (fun i _ -> i >= nout) body)
+          in
+          let output =
+            List.map
+              (fun l ->
+                match String.split_on_char ' ' l with
+                | [ "out"; "i"; n ] -> Interp.Oint (int n)
+                | [ "out"; "f"; x ] -> (
+                    match float_of_string_opt x with
+                    | Some x -> Interp.Ofloat x
+                    | None -> raise Reject)
+                | _ -> raise Reject)
+              out_lines
+          in
+          let counters =
+            List.map
+              (fun l ->
+                match String.split_on_char ' ' l with
+                | [ "counter"; name; v ] -> (
+                    match Event.of_name name with
+                    | Some e -> (e, int v)
+                    | None -> raise Reject)
+                | _ -> raise Reject)
+              counter_lines
+          in
+          Some
+            {
+              Interp.instructions = int insts;
+              cycles = int cycles;
+              output;
+              counters;
+            }
+      | _ -> None)
+  | [] -> None
+
+let load ~dir ~key k =
+  let file = path ~dir k in
+  match
+    let ic = open_in_bin file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with
+  | exception Sys_error _ -> None
+  | text -> ( try decode ~key k text with Reject -> None)

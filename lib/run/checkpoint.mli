@@ -1,0 +1,28 @@
+(** Resumable sharded runs: one checkpoint file per completed shard.
+
+    [pp run --checkpoint-dir DIR] saves each shard's result
+    ({!Pp_vm.Interp.result}) as [DIR/shard-<k>.ckpt] the moment the shard
+    completes.  A re-invocation after a crash loads the valid checkpoints,
+    runs only the missing shards, and sums in shard order — so the final
+    stdout is byte-identical to an uninterrupted run.
+
+    Checkpoints use the same hardening as profile shards: every line
+    carries a {!Pp_core.Crc32} token, floats round-trip exactly (hex
+    notation), and writes are temp-then-rename atomic.  A checkpoint that
+    is damaged, truncated, or was written for a different program (the
+    [key] digest disagrees) loads as [None] — the shard simply reruns;
+    resumption is never allowed to poison a result. *)
+
+(** [DIR/shard-<k>.ckpt]. *)
+val path : dir:string -> int -> string
+
+(** Atomically write shard [k]'s result.  [key] identifies the program
+    and run configuration (e.g. the program hash plus the budget); a
+    later {!load} with a different key ignores the file.  Creates [dir]
+    if needed.
+    @raise Sys_error if the directory cannot be created or written. *)
+val save : dir:string -> key:string -> int -> Pp_vm.Interp.result -> unit
+
+(** Load shard [k]'s checkpoint: [None] if absent, damaged in any way,
+    or recorded under a different [key]. *)
+val load : dir:string -> key:string -> int -> Pp_vm.Interp.result option

@@ -5,7 +5,7 @@ type 'a outcome =
   | Crashed of string
   | Timed_out of float
 
-type task_stat = { task : int; wall : float; status : string }
+type task_stat = { task : int; wall : float; status : string; attempts : int }
 
 type stats = {
   jobs : int;
@@ -13,9 +13,34 @@ type stats = {
   ok : int;
   crashed : int;
   timed_out : int;
+  retried : int;
+  quarantined : int;
+  attempts : int;
   total_wall : float;
   task_stats : task_stat list;
 }
+
+type backoff = {
+  base : float;
+  factor : float;
+  max_delay : float;
+  jitter : float;
+  seed : int;
+}
+
+let default_backoff =
+  { base = 0.05; factor = 2.0; max_delay = 1.0; jitter = 0.5; seed = 0 }
+
+(* Jittered exponential delay before retrying [task] after failed attempt
+   [attempt].  Deterministic: the jitter draw is a pure function of
+   (seed, task, attempt), so a chaos run's retry schedule replays
+   exactly. *)
+let delay_for b ~task ~attempt =
+  let raw =
+    Float.min b.max_delay (b.base *. (b.factor ** float_of_int (attempt - 1)))
+  in
+  let u = Faults.unit_float (Faults.mix [ b.seed; task; attempt ]) in
+  Float.max 0.0 (raw *. (1.0 +. (b.jitter *. ((2.0 *. u) -. 1.0))))
 
 type job = {
   index : int;
@@ -183,38 +208,103 @@ let describe = function
   | Crashed msg -> "crashed: " ^ msg
   | Timed_out t -> Printf.sprintf "timed out after %.1fs" t
 
-let stats_of ~jobs ~t0 outcomes walls =
+let map_retry ?(jobs = 1) ?timeout ?(retries = 1) ?(backoff = default_backoff)
+    ?(sleep = Unix.sleepf) ?verify f xs =
+  let t0 = Unix.gettimeofday () in
+  let jobs = if can_fork then max 1 jobs else 1 in
+  let retries = max 1 retries in
+  let tasks = Array.of_list xs in
+  let n = Array.length tasks in
+  let results = Array.make n (Crashed "never ran") in
+  let walls = Array.make n 0.0 in
+  let attempts = Array.make n 0 in
+  let pending = ref (List.init n Fun.id) in
+  let round = ref 0 in
+  while !pending <> [] && !round < retries do
+    incr round;
+    let a = !round in
+    if a > 1 then begin
+      (* One parent-side sleep per retry round: the longest jittered delay
+         any retried task asks for.  Failed tasks within a round then rerun
+         concurrently, which keeps the schedule deterministic and the
+         wall-clock bounded by the slowest backoff, not their sum. *)
+      let d =
+        List.fold_left
+          (fun acc i -> Float.max acc (delay_for backoff ~task:i ~attempt:(a - 1)))
+          0.0 !pending
+      in
+      if d > 0.0 then sleep d
+    end;
+    let idxs = !pending in
+    let g x = f ~attempt:a x in
+    let sub = List.map (fun i -> tasks.(i)) idxs in
+    let outs, ws =
+      if jobs <= 1 then map_inline g sub else map_forked ~jobs ~timeout g sub
+    in
+    let failed = ref [] in
+    List.iter2
+      (fun i (o, w) ->
+        attempts.(i) <- a;
+        walls.(i) <- walls.(i) +. w;
+        let o =
+          match (o, verify) with
+          | Done v, Some check -> (
+              match check tasks.(i) v with
+              | Ok () -> Done v
+              | Error msg -> Crashed msg)
+          | o, _ -> o
+        in
+        results.(i) <- o;
+        match o with Done _ -> () | _ -> failed := i :: !failed)
+      idxs
+      (List.combine outs ws);
+    pending := List.rev !failed
+  done;
+  let outcomes = Array.to_list results in
   let count p = List.length (List.filter p outcomes) in
   let ok = count (function Done _ -> true | _ -> false) in
   let crashed = count (function Crashed _ -> true | _ -> false) in
   let timed_out = count (function Timed_out _ -> true | _ -> false) in
+  let retried =
+    Array.fold_left (fun acc a -> if a > 1 then acc + 1 else acc) 0 attempts
+  in
+  let total_attempts = Array.fold_left ( + ) 0 attempts in
+  let quarantined = List.length !pending in
   let task_stats =
     List.mapi
-      (fun i (o, w) -> { task = i; wall = w; status = describe o })
-      (List.combine outcomes walls)
+      (fun i o ->
+        {
+          task = i;
+          wall = walls.(i);
+          status = describe o;
+          attempts = attempts.(i);
+        })
+      outcomes
   in
   let m = Metrics.default in
-  Metrics.incr m "pool.tasks" (List.length outcomes);
+  Metrics.incr m "pool.tasks" n;
   Metrics.incr m "pool.ok" ok;
   Metrics.incr m "pool.crashed" crashed;
   Metrics.incr m "pool.timed_out" timed_out;
-  {
-    jobs;
-    tasks = List.length outcomes;
-    ok;
-    crashed;
-    timed_out;
-    total_wall = Unix.gettimeofday () -. t0;
-    task_stats;
-  }
+  Metrics.incr m "pool.attempts" total_attempts;
+  Metrics.incr m "pool.retried" retried;
+  Metrics.incr m "pool.quarantined" quarantined;
+  ( outcomes,
+    {
+      jobs;
+      tasks = n;
+      ok;
+      crashed;
+      timed_out;
+      retried;
+      quarantined;
+      attempts = total_attempts;
+      total_wall = Unix.gettimeofday () -. t0;
+      task_stats;
+    } )
 
-let map_stats ?(jobs = 1) ?timeout f xs =
-  let t0 = Unix.gettimeofday () in
-  let jobs = if can_fork then max 1 jobs else 1 in
-  let outcomes, walls =
-    if jobs <= 1 then map_inline f xs else map_forked ~jobs ~timeout f xs
-  in
-  (outcomes, stats_of ~jobs ~t0 outcomes walls)
+let map_stats ?jobs ?timeout f xs =
+  map_retry ?jobs ?timeout ~retries:1 (fun ~attempt:_ x -> f x) xs
 
 let map ?jobs ?timeout f xs = fst (map_stats ?jobs ?timeout f xs)
 
@@ -230,7 +320,12 @@ let footer s =
     s.total_wall s.ok;
   if s.crashed > 0 then Printf.bprintf buf ", %d crashed" s.crashed;
   if s.timed_out > 0 then Printf.bprintf buf ", %d timed out" s.timed_out;
+  if s.retried > 0 then Printf.bprintf buf ", %d retried" s.retried;
+  if s.quarantined > 0 then
+    Printf.bprintf buf ", %d quarantined" s.quarantined;
   Buffer.add_string buf ")\n";
+  if s.attempts > s.tasks then
+    Printf.bprintf buf "  attempts: %d over %d tasks\n" s.attempts s.tasks;
   (match
      List.fold_left
        (fun acc t -> match acc with
@@ -245,6 +340,8 @@ let footer s =
   List.iter
     (fun t ->
       if t.status <> "ok" then
-        Printf.bprintf buf "  task %d: %s (%.2fs)\n" t.task t.status t.wall)
+        Printf.bprintf buf "  task %d: %s (%.2fs, %d attempt%s)\n" t.task
+          t.status t.wall t.attempts
+          (if t.attempts = 1 then "" else "s"))
     s.task_stats;
   Buffer.contents buf

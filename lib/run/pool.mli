@@ -21,8 +21,9 @@ type 'a outcome =
 
 type task_stat = {
   task : int;  (** input-order index *)
-  wall : float;  (** seconds the worker ran *)
-  status : string;  (** {!describe} of its outcome *)
+  wall : float;  (** seconds the worker ran, summed over its attempts *)
+  status : string;  (** {!describe} of its final outcome *)
+  attempts : int;  (** how many times the task ran (1 = no retry) *)
 }
 
 type stats = {
@@ -31,9 +32,32 @@ type stats = {
   ok : int;
   crashed : int;
   timed_out : int;
+  retried : int;  (** tasks that needed more than one attempt *)
+  quarantined : int;
+      (** tasks that exhausted their attempt budget and stayed failed *)
+  attempts : int;  (** total attempts across all tasks *)
   total_wall : float;  (** seconds from first spawn to last reap *)
   task_stats : task_stat list;  (** in task order *)
 }
+
+(** Exponential-backoff schedule for {!map_retry}.  Before attempt
+    [a+1] of a task that failed attempt [a], the pool waits
+    [min max_delay (base *. factor ** (a-1))] seconds, scaled by a
+    deterministic jitter in [1 ± jitter] drawn from
+    [Faults.mix [seed; task; a]] — so a seeded chaos run's retry
+    schedule replays exactly.  Failed tasks of a round are retried
+    together after a single sleep (the longest delay any of them asks
+    for). *)
+type backoff = {
+  base : float;  (** first-retry delay, seconds *)
+  factor : float;  (** multiplier per additional attempt *)
+  max_delay : float;  (** cap on the un-jittered delay *)
+  jitter : float;  (** relative jitter amplitude in [0, 1] *)
+  seed : int;  (** jitter seed *)
+}
+
+(** 50ms base, doubling, capped at 1s, ±50% jitter, seed 0. *)
+val default_backoff : backoff
 
 (** [map ~jobs ~timeout f xs] evaluates [f] over [xs] with at most [jobs]
     concurrent workers, returning outcomes in input order.
@@ -48,13 +72,46 @@ type stats = {
 val map : ?jobs:int -> ?timeout:float -> ('a -> 'b) -> 'a list -> 'b outcome list
 
 (** {!map} plus per-task wall times and outcome counts for the summary
-    footer.  Also bumps the [pool.tasks] / [pool.ok] / [pool.crashed] /
-    [pool.timed_out] counters in [Metrics.default] (jobs-independent, so
-    metric dumps stay byte-identical at any [--jobs]). *)
+    footer.  Also bumps the [pool.*] counters in [Metrics.default]
+    (jobs-independent, so metric dumps stay byte-identical at any
+    [--jobs]).  Equivalent to {!map_retry} with a budget of one
+    attempt. *)
 val map_stats :
   ?jobs:int ->
   ?timeout:float ->
   ('a -> 'b) ->
+  'a list ->
+  'b outcome list * stats
+
+(** [map_retry ~retries f xs] is {!map_stats} with a per-task attempt
+    budget: a task whose outcome is [Crashed] or [Timed_out] is rerun —
+    after the {!backoff} delay — up to [retries] times total (default 1,
+    i.e. no retry; values [< 1] are clamped to 1).  A task that exhausts
+    the budget is {e quarantined}: its last failure stands in the
+    outcome list and [stats.quarantined] counts it.
+
+    [f] receives the 1-based attempt number, so a task can (and chaos
+    runs do) behave differently across attempts.
+
+    [verify], when given, runs {e in the parent} over each [Done] result
+    before it is accepted; [Error msg] demotes the outcome to
+    [Crashed msg] and the task is retried like any other failure.  This
+    is how a runner catches damage a worker cannot see itself — e.g. a
+    shard file that was corrupted on disk after the worker wrote it.
+
+    [sleep] (default [Unix.sleepf]) performs the backoff waits;
+    inject a recording stub to test the schedule without real delays.
+
+    Like {!map_stats}, bumps the [pool.*] counters, including
+    [pool.attempts] / [pool.retried] / [pool.quarantined]. *)
+val map_retry :
+  ?jobs:int ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?backoff:backoff ->
+  ?sleep:(float -> unit) ->
+  ?verify:('a -> 'b -> (unit, string) result) ->
+  (attempt:int -> 'a -> 'b) ->
   'a list ->
   'b outcome list * stats
 

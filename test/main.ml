@@ -29,4 +29,5 @@ let () =
       ("merge", Test_merge.suite);
       ("parallel", Test_parallel.suite);
       ("telemetry", Test_telemetry.suite);
+      ("faults", Test_faults.suite);
     ]

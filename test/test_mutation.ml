@@ -169,6 +169,25 @@ let test_drop_cct_commit () =
       | _ -> false)
     ~action:(fun _ -> `Drop) ()
 
+(* Every PIC read in flow-hw is load-bearing — the entry saves, the
+   read-after-write idiom after the entry and backedge re-zeroing, and the
+   per-commit readings — so dropping any single one must be flagged.  A
+   deterministic sweep (the QCheck drop property only samples this space;
+   the backedge idiom read was once missable). *)
+let test_drop_any_pic_read () =
+  let select = function Instr.Hwread _ -> true | _ -> false in
+  let prog, instrumented, manifest = clean ~mode:Instrument.Flow_hw () in
+  let _, total =
+    mutate instrumented ~n:(-1) ~select ~action:(fun i -> `Replace i)
+  in
+  if total = 0 then Alcotest.fail "no PIC reads to mutate";
+  for n = 0 to total - 1 do
+    let mutant, _ = mutate instrumented ~n ~select ~action:(fun _ -> `Drop) in
+    expect_flagged
+      ~what:(Printf.sprintf "drop PIC read %d of %d" n total)
+      ~original:prog ~manifest mutant
+  done
+
 let test_shift_edge_counter () =
   (* moving the edge counter store to a neighbouring cell counts the wrong
      edge: the chord's own counter is then missing *)
@@ -256,6 +275,7 @@ let suite =
     Alcotest.test_case "drop cct_exit" `Quick test_drop_cct_exit;
     Alcotest.test_case "drop cct_call" `Quick test_drop_cct_call;
     Alcotest.test_case "drop cct commit" `Quick test_drop_cct_commit;
+    Alcotest.test_case "drop any PIC read" `Quick test_drop_any_pic_read;
     Alcotest.test_case "shift edge counter" `Quick test_shift_edge_counter;
     QCheck_alcotest.to_alcotest prop_any_increment;
     QCheck_alcotest.to_alcotest prop_any_drop;
