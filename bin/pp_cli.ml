@@ -41,6 +41,22 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* Same escaping rules as Overhead.to_json: all --json output follows one
+   convention. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
 let load ~file ~workload =
   match (file, workload) with
   | Some path, None ->
@@ -543,9 +559,50 @@ let paths_cmd =
     "Static path-numbering report: potential (and statically feasible) \
      paths per procedure."
   in
-  let action file workload feasible table dot_proc =
+  let action file workload feasible table dot_proc json =
     match load ~file ~workload with
     | Error msg -> exit_err msg
+    | Ok prog when json ->
+        let buf = Buffer.create 1024 in
+        let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+        add "{\"procs\":[";
+        Array.iteri
+          (fun i (p : Pp_ir.Proc.t) ->
+            if i > 0 then add ",";
+            let cfg = Pp_ir.Cfg.of_proc p in
+            match Ball_larus.build cfg with
+            | exception Ball_larus.Unsupported msg ->
+                add "{\"proc\":\"%s\",\"unsupported\":\"%s\"}"
+                  (json_escape p.Pp_ir.Proc.name) (json_escape msg)
+            | bl ->
+                add
+                  "{\"proc\":\"%s\",\"blocks\":%d,\"backedges\":%d,\"potential_paths\":%d"
+                  (json_escape p.Pp_ir.Proc.name)
+                  (Pp_ir.Proc.num_blocks p)
+                  (List.length (Ball_larus.backedges bl))
+                  (Ball_larus.num_paths bl);
+                if feasible || table then begin
+                  let fs = Pp_analysis.Feasibility.analyze cfg bl in
+                  if Pp_analysis.Feasibility.enumerated fs then begin
+                    let nf = Pp_analysis.Feasibility.num_feasible fs in
+                    add ",\"feasible\":%d,\"pruned\":%d,\"infeasible\":[" nf
+                      (Ball_larus.num_paths bl - nf);
+                    List.iteri
+                      (fun j sum ->
+                        if j > 0 then add ",";
+                        add "{\"path\":%d,\"reason\":\"%s\"}" sum
+                          (json_escape
+                             (describe_verdict cfg
+                                (Pp_analysis.Feasibility.check fs sum))))
+                      (Pp_analysis.Feasibility.infeasible_sums fs);
+                    add "]"
+                  end
+                  else add ",\"feasible\":null"
+                end;
+                add "}")
+          prog.Pp_ir.Program.procs;
+        add "]}";
+        print_string (Buffer.contents buf)
     | Ok prog ->
         Array.iter
           (fun (p : Pp_ir.Proc.t) ->
@@ -641,8 +698,15 @@ let paths_cmd =
              ~doc:"Also print PROC's CFG as Graphviz, edges labelled with \
                    their Ball-Larus values.")
   in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the report as a single-line JSON object (same \
+                   conventions as 'pp overhead --json').")
+  in
   Cmd.v (Cmd.info "paths" ~doc)
-    Term.(const action $ file $ workload_opt $ feasible $ table $ dot_proc)
+    Term.(
+      const action $ file $ workload_opt $ feasible $ table $ dot_proc $ json)
 
 (* --- pp cost --- *)
 
@@ -652,7 +716,7 @@ let cost_cmd =
      estimated probe executions per procedure; with --profile, the \
      estimated-vs-measured comparison against a dynamic profile."
   in
-  let action file workload mode optimize profile =
+  let action file workload mode optimize profile json =
     match load ~file ~workload with
     | Error msg -> exit_err msg
     | Ok prog -> (
@@ -673,7 +737,9 @@ let cost_cmd =
         in
         match Pp_analysis.Cost.compute ~options ~mode ?profile prog with
         | Error d -> exit_invalid d
-        | Ok report -> print_string (Pp_analysis.Cost.render report))
+        | Ok report ->
+            if json then print_string (Pp_analysis.Cost.to_json report)
+            else print_string (Pp_analysis.Cost.render report))
   in
   let mode =
     Arg.(value & opt mode_conv Instrument.Flow_hw
@@ -692,8 +758,14 @@ let cost_cmd =
              ~doc:"A profile shard from 'pp profile --profile-out' to \
                    compare estimates against (same program and mode).")
   in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the report as a single-line JSON object (same \
+                   conventions as 'pp overhead --json').")
+  in
   Cmd.v (Cmd.info "cost" ~doc)
-    Term.(const action $ file $ workload_opt $ mode $ optimize $ profile)
+    Term.(const action $ file $ workload_opt $ mode $ optimize $ profile $ json)
 
 (* --- pp disasm --- *)
 
@@ -851,6 +923,258 @@ let check_cmd =
     Term.(
       const action $ file $ workload_opt $ modes $ lint_flag $ optimize
       $ caller_saves $ backedge_reads)
+
+(* --- pp prove --- *)
+
+(* Seeded violations for the must-fail CI gates: each mutation is the
+   smallest edit that breaks one of the two certified properties, so a
+   'pp prove --inject ...' run that does NOT exit 2 means the certifier
+   has gone blind. *)
+
+(* Shrink the first counter-table global by one word: the table's last
+   cell is now out of bounds, which the interval proof must catch. *)
+let inject_bounds (prog : Pp_ir.Program.t) (manifest : Instrument.manifest) =
+  let global =
+    List.find_map
+      (fun (info : Instrument.proc_info) ->
+        match info.Instrument.table with
+        | Instrument.Array_table { global; _ }
+        | Instrument.Edge_table { global; _ } ->
+            Some global
+        | Instrument.No_table | Instrument.Hash_table _
+        | Instrument.Cct_table _ ->
+            None)
+      manifest.Instrument.infos
+  in
+  match global with
+  | None ->
+      exit_err
+        "--inject bounds: no counter-table global in this mode (use a mode \
+         with array or edge tables, e.g. -m flow-hw)"
+  | Some global ->
+      let globals =
+        Array.to_list prog.Pp_ir.Program.globals
+        |> List.map (fun (g : Pp_ir.Program.global) ->
+               if g.Pp_ir.Program.gname = global then
+                 { g with Pp_ir.Program.size_words = max 1 (g.size_words - 1) }
+               else g)
+      in
+      Pp_ir.Program.make
+        ~procs:(Array.to_list prog.Pp_ir.Program.procs)
+        ~globals ~main:prog.Pp_ir.Program.main
+
+(* Copy the path register (or reload its spill slot) into original
+   register 0: instrumentation state now flows into a program-visible
+   register, which the taint proof must catch. *)
+let inject_taint ~(original : Pp_ir.Program.t) (prog : Pp_ir.Program.t)
+    (manifest : Instrument.manifest) =
+  let victim =
+    List.find_map
+      (fun (i, (info : Instrument.proc_info)) ->
+        match info.Instrument.path_loc with
+        | Some loc
+          when original.Pp_ir.Program.procs.(i).Pp_ir.Proc.niregs >= 1 ->
+            Some (i, loc)
+        | _ -> None)
+      (List.mapi (fun i info -> (i, info)) manifest.Instrument.infos)
+  in
+  match victim with
+  | None ->
+      exit_err
+        "--inject taint: no procedure with a live path location and an \
+         original integer register"
+  | Some (i, loc) ->
+      let p = prog.Pp_ir.Program.procs.(i) in
+      let leak =
+        match loc with
+        | Pp_instrument.Path_instr.Path_reg r -> [ Pp_ir.Instr.Imov (0, r) ]
+        | Pp_instrument.Path_instr.Path_slot off ->
+            [ Pp_ir.Instr.Frameaddr (0, off); Pp_ir.Instr.Load (0, 0, 0) ]
+      in
+      let blocks =
+        Array.map
+          (fun (b : Pp_ir.Block.t) ->
+            if b.Pp_ir.Block.label = p.Pp_ir.Proc.entry then
+              { b with Pp_ir.Block.instrs = b.Pp_ir.Block.instrs @ leak }
+            else b)
+          p.Pp_ir.Proc.blocks
+      in
+      let procs =
+        Array.to_list prog.Pp_ir.Program.procs
+        |> List.mapi (fun j q ->
+               if j = i then Pp_ir.Proc.with_blocks p blocks else q)
+      in
+      Pp_ir.Program.make ~procs
+        ~globals:(Array.to_list prog.Pp_ir.Program.globals)
+        ~main:prog.Pp_ir.Program.main
+
+let prove_cmd =
+  let doc =
+    "Certify instrumentation by abstract interpretation: interval + \
+     congruence proofs that every table access is in bounds and every \
+     counter bounded, and a taint proof that instrumentation state never \
+     perturbs program-visible behaviour."
+  in
+  let action file workload modes json optimize caller_saves backedge_reads
+      budget inject =
+    require_positive ~flag:"budget" budget;
+    match load ~file ~workload with
+    | Error msg -> exit_err msg
+    | Ok prog ->
+        let modes =
+          match modes with
+          | [] ->
+              [
+                Instrument.Edge_freq;
+                Instrument.Flow_freq;
+                Instrument.Flow_hw;
+                Instrument.Context_hw;
+                Instrument.Context_flow;
+              ]
+          | ms -> ms
+        in
+        let options =
+          {
+            Instrument.default_options with
+            Instrument.optimize_placement = optimize;
+            caller_saves;
+            backedge_metric_reads = backedge_reads;
+          }
+        in
+        let failures = ref 0 in
+        let results =
+          List.map
+            (fun mode ->
+              match
+                Instrument.run ~options
+                  ~pruner:Pp_analysis.Feasibility.pruner ~mode prog
+              with
+              | exception Ball_larus.Unsupported msg ->
+                  incr failures;
+                  (mode, Error msg)
+              | instrumented, manifest ->
+                  let instrumented =
+                    match inject with
+                    | None -> instrumented
+                    | Some `Bounds -> inject_bounds instrumented manifest
+                    | Some `Taint ->
+                        inject_taint ~original:prog instrumented manifest
+                  in
+                  let diags =
+                    Pp_analysis.Verifier.prove_program ~budget ~original:prog
+                      ~manifest instrumented
+                  in
+                  if diags <> [] then incr failures;
+                  (mode, Ok diags))
+            modes
+        in
+        if json then begin
+          let buf = Buffer.create 1024 in
+          let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+          add "{\"program\":\"%s\",\"budget\":%d,\"modes\":["
+            (json_escape
+               (match (file, workload) with
+               | _, Some w -> w
+               | Some f, None -> f
+               | None, None -> ""))
+            budget;
+          List.iteri
+            (fun i (mode, result) ->
+              if i > 0 then add ",";
+              match result with
+              | Error msg ->
+                  add "{\"mode\":\"%s\",\"status\":\"unsupported\",\"message\":\"%s\"}"
+                    (Instrument.mode_name mode)
+                    (json_escape msg)
+              | Ok diags ->
+                  add "{\"mode\":\"%s\",\"status\":\"%s\",\"procedures\":%d,\"errors\":["
+                    (Instrument.mode_name mode)
+                    (if diags = [] then "ok" else "failed")
+                    (Array.length prog.Pp_ir.Program.procs);
+                  List.iteri
+                    (fun j (d : Diag.t) ->
+                      if j > 0 then add ",";
+                      add "{\"severity\":\"%s\",\"proc\":\"%s\","
+                        (match d.Diag.severity with
+                        | Diag.Error -> "error"
+                        | Diag.Warning -> "warning")
+                        (json_escape d.Diag.loc.Diag.proc);
+                      (match d.Diag.loc.Diag.block with
+                      | Some l -> add "\"block\":%d," l
+                      | None -> add "\"block\":null,");
+                      (match d.Diag.loc.Diag.position with
+                      | Some (Diag.Instr i) -> add "\"pos\":%d," i
+                      | Some Diag.Terminator -> add "\"pos\":\"term\","
+                      | None -> add "\"pos\":null,");
+                      add "\"message\":\"%s\"}" (json_escape d.Diag.message))
+                    diags;
+                  add "]}")
+            results;
+          add "]}";
+          print_string (Buffer.contents buf)
+        end
+        else
+          List.iter
+            (fun (mode, result) ->
+              match result with
+              | Error msg ->
+                  Printf.printf "%-13s cannot instrument: %s\n"
+                    (Instrument.mode_name mode)
+                    msg
+              | Ok [] ->
+                  Printf.printf "%-13s certified (%d procedures)\n"
+                    (Instrument.mode_name mode)
+                    (Array.length prog.Pp_ir.Program.procs)
+              | Ok diags ->
+                  Printf.printf "%-13s NOT CERTIFIED (%d errors)\n"
+                    (Instrument.mode_name mode)
+                    (List.length diags);
+                  List.iter
+                    (fun d -> print_endline ("  " ^ Pp_ir.Diag.to_string d))
+                    diags)
+            results;
+        (* Proof failures are structured diagnostics, like 'pp check'. *)
+        if !failures > 0 then exit 2
+  in
+  let modes =
+    Arg.(value & opt_all mode_conv []
+         & info [ "mode"; "m" ] ~docv:"MODE"
+             ~doc:"Mode to certify (repeatable; default: all five).")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the report as a single-line JSON object (same \
+                   conventions as 'pp overhead --json').")
+  in
+  let optimize =
+    Arg.(value & flag
+         & info [ "optimize-placement" ]
+             ~doc:"Certify the optimized (spanning-tree chord) placement.")
+  in
+  let caller_saves =
+    Arg.(value & flag
+         & info [ "caller-saves" ]
+             ~doc:"Certify the caller-saves PIC discipline (ablation A3).")
+  in
+  let backedge_reads =
+    Arg.(value & flag
+         & info [ "backedge-metric-reads" ]
+             ~doc:"Certify the backedge metric reads (ablation A4).")
+  in
+  let inject =
+    Arg.(value
+         & opt (some (enum [ ("bounds", `Bounds); ("taint", `Taint) ])) None
+         & info [ "inject" ] ~docv:"KIND"
+             ~doc:"Seed a violation before proving (self-test): 'bounds' \
+                   shrinks a counter table by one word, 'taint' leaks the \
+                   path location into an original register.  The run must \
+                   then exit 2.")
+  in
+  Cmd.v (Cmd.info "prove" ~doc)
+    Term.(
+      const action $ file $ workload_opt $ modes $ json $ optimize
+      $ caller_saves $ backedge_reads $ budget $ inject)
 
 (* --- pp bench --- *)
 
@@ -1322,5 +1646,5 @@ let () =
   let info = Cmd.info "pp" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
                     [ run_cmd; profile_cmd; paths_cmd; cost_cmd; disasm_cmd;
-                      check_cmd; bench_cmd; merge_cmd; trace_cmd;
+                      check_cmd; prove_cmd; bench_cmd; merge_cmd; trace_cmd;
                       overhead_cmd; chaos_cmd; workloads_cmd ]))

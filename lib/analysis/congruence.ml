@@ -1,0 +1,127 @@
+module I = Pp_ir.Instr
+
+(* (m, r): with m = 0 exactly the constant r; with m > 0 the residue class
+   r mod m (0 <= r < m).  Top is (1, 0). *)
+type t = { m : int; r : int }
+
+let top = { m = 1; r = 0 }
+let const n = { m = 0; r = n }
+let is_top t = t.m = 1
+let is_const t = if t.m = 0 then Some t.r else None
+let equal (a : t) (b : t) = a.m = b.m && a.r = b.r
+
+(* Cap on tracked moduli; keeps (m, r) arithmetic far from overflow while
+   covering every stride the instrumenter emits (table records are 8, 16
+   or 24 bytes). *)
+let mcap = 1 lsl 24
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let norm m r =
+  if m = 0 then { m = 0; r }
+  else if m = 1 || m > mcap then top
+  else { m; r = ((r mod m) + m) mod m }
+
+(* Local overflow-checked arithmetic (same trick as {!Interval}). *)
+let sub_ovf a b =
+  let d = a - b in
+  if (a >= 0) <> (b >= 0) && (d >= 0) <> (a >= 0) then None else Some d
+
+let mul_ovf a b =
+  if a = 0 || b = 0 then Some 0
+  else if (a = min_int && b = -1) || (b = min_int && a = -1) then None
+  else
+    let p = a * b in
+    if p / b = a then Some p else None
+
+let join a b =
+  if equal a b then a
+  else
+    match sub_ovf a.r b.r with
+    | None -> top
+    | Some d when d = min_int -> top
+    | Some d -> norm (gcd (gcd a.m b.m) (abs d)) a.r
+
+(* The modulus of a join divides both inputs' moduli, so widening chains
+   strictly shrink m: join doubles as a terminating widening. *)
+let widen = join
+
+let leq a b =
+  if b.m = 1 then true
+  else if b.m = 0 then a.m = 0 && a.r = b.r
+  else a.m mod b.m = 0 && ((a.r mod b.m) + b.m) mod b.m = b.r
+
+(* Exact VM semantics on two known constants — wraparound included, since
+   native OCaml arithmetic is the VM's arithmetic. *)
+let fold_const op x y =
+  match (op : I.ibinop) with
+  | I.Add -> const (x + y)
+  | I.Sub -> const (x - y)
+  | I.Mul -> const (x * y)
+  | I.Div -> if y = 0 || (x = min_int && y = -1) then top else const (x / y)
+  | I.Rem -> if y = 0 then top else const (x mod y)
+  | I.And -> const (x land y)
+  | I.Or -> const (x lor y)
+  | I.Xor -> const (x lxor y)
+  | I.Shl -> if y land 63 >= 62 then top else const (x lsl (y land 63))
+  | I.Shr -> const (x asr (y land 63))
+
+(* Residue of [t] modulo a target m > 0. *)
+let residue t m = ((t.r mod m) + m) mod m
+
+(* Top operands are NOT an early-out: top * {24} is exactly the
+   multiples of 24 — the fact that proves table-offset alignment. *)
+let rec binop ~no_wrap op a b =
+  match (is_const a, is_const b) with
+  | Some x, Some y -> fold_const op x y
+  | _ when not no_wrap -> top
+  | _ -> (
+      match (op : I.ibinop) with
+      | I.Add ->
+          let m = gcd a.m b.m in
+          if m = 0 then top (* unreachable: both const handled above *)
+          else norm m (residue a m + residue b m)
+      | I.Sub ->
+          let m = gcd a.m b.m in
+          if m = 0 then top
+          else norm m (residue a m - residue b m)
+      | I.Mul -> (
+          (* Granger: x*y = ra*rb (mod gcd (ma*mb, ma*rb, mb*ra)). *)
+          match
+            (mul_ovf a.m b.m, mul_ovf a.m b.r, mul_ovf b.m a.r,
+             mul_ovf a.r b.r)
+          with
+          | Some mm, Some mr, Some rm, Some rr
+            when mr <> min_int && rm <> min_int ->
+              norm (gcd (gcd mm (abs mr)) (abs rm)) rr
+          | _ -> top)
+      | I.Shl -> (
+          match is_const b with
+          | Some c when c land 63 < 62 ->
+              binop ~no_wrap I.Mul a (const (1 lsl (c land 63)))
+          | _ -> top)
+      | I.Div | I.Rem | I.And | I.Or | I.Xor | I.Shr -> top)
+
+let cmp c a b =
+  match (is_const a, is_const b) with
+  | Some x, Some y ->
+      let v =
+        match (c : I.cmp) with
+        | I.Eq -> x = y
+        | I.Ne -> x <> y
+        | I.Lt -> x < y
+        | I.Le -> x <= y
+        | I.Gt -> x > y
+        | I.Ge -> x >= y
+      in
+      const (if v then 1 else 0)
+  | _ -> top
+
+(* True when every concrete value of [t] is divisible by [k] (k > 0). *)
+let divides k t =
+  k > 0 && t.m mod k = 0 && ((t.r mod k) + k) mod k = 0
+
+let pp ppf t =
+  if is_top t then Format.pp_print_string ppf "T"
+  else if t.m = 0 then Format.fprintf ppf "{%d}" t.r
+  else Format.fprintf ppf "%d mod %d" t.r t.m

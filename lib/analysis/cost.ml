@@ -363,3 +363,41 @@ let render (r : report) =
     line "%-20s %12s %12.0f %12d %+7.1f%%" "total" "" !test !tmeas terr
   end;
   Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json (r : report) =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\"mode\":\"%s\",\"rows\":[" (Instrument.mode_name r.mode);
+  List.iteri
+    (fun i row ->
+      if i > 0 then add ",";
+      add "{\"proc\":\"%s\",\"blocks\":%d,\"npaths\":%d,"
+        (json_escape row.proc) row.blocks row.npaths;
+      (match row.nfeasible with
+      | Some n -> add "\"nfeasible\":%d," n
+      | None -> add "\"nfeasible\":null,");
+      add
+        "\"probe_sites\":%d,\"added_slots\":%d,\"est_path\":%.6g,\"est_ctx\":%.6g,"
+        row.probe_sites row.added_slots row.est_path row.est_ctx;
+      match row.measured with
+      | Some m ->
+          add "\"measured\":{\"invocations\":%d,\"probes\":%d}}"
+            m.invocations m.probes
+      | None -> add "\"measured\":null}")
+    r.rows;
+  add "]}";
+  Buffer.contents buf

@@ -71,3 +71,7 @@ val compute :
 
 (** Deterministic plain-text rendering (CI diffs it byte-for-byte). *)
 val render : report -> string
+
+(** Single-line JSON rendering of the same report, following the
+    [pp overhead --json] conventions ([null] for absent optionals). *)
+val to_json : report -> string

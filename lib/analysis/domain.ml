@@ -1,0 +1,48 @@
+(** Signature shared by the numeric abstract domains ({!Interval},
+    {!Congruence}).
+
+    A domain abstracts sets of VM integers — native OCaml 63-bit values
+    with silent wraparound.  Soundness contract: every operation must
+    over-approximate the VM's {e actual} semantics, wraparound included.
+    A transfer function that cannot express the wrapped result set must
+    return {!top}; saturating would be unsound.
+
+    Because a single domain usually cannot decide overflow on its own,
+    [binop] receives a [no_wrap] hint: [true] promises that no concrete
+    operand pair drawn from the abstract inputs overflows.  The driver
+    ({!Absint}) computes the hint from the interval component, which
+    tracks overflow exactly.  With [no_wrap:false] a domain may only use
+    transfer functions that are wrap-safe by construction. *)
+
+module type S = sig
+  type t
+
+  val top : t
+
+  (** Exactly the singleton [{n}]. *)
+  val const : int -> t
+
+  val is_const : t -> int option
+  val equal : t -> t -> bool
+
+  (** Partial order: [leq a b] iff every concrete value of [a] is a
+      concrete value of [b]. *)
+  val leq : t -> t -> bool
+
+  val join : t -> t -> t
+
+  (** [widen old next] — upper bound of both arguments such that any
+      chain [w0, widen w0 x1, widen (widen w0 x1) x2, ...] stabilises in
+      finitely many steps. *)
+  val widen : t -> t -> t
+
+  (** Abstract counterpart of {!Pp_ir.Instr.ibinop} under VM semantics
+      (6-bit shift masking, arithmetic [Shr], trapping division by
+      zero).  [no_wrap] as described above. *)
+  val binop : no_wrap:bool -> Pp_ir.Instr.ibinop -> t -> t -> t
+
+  (** Abstract comparison; the result abstracts a subset of [{0, 1}]. *)
+  val cmp : Pp_ir.Instr.cmp -> t -> t -> t
+
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,37 @@
+(** Machine-integer intervals over the VM's native 63-bit arithmetic.
+
+    Since OCaml ints are bounded, [min_int, max_int] is genuinely top and
+    no sentinel encoding is needed.  Every transfer function models the
+    VM's {e wrapping} semantics: when some concrete operand pair could
+    overflow, the result is {!top} — saturating would be unsound.  An
+    implementation of {!Domain.S}. *)
+
+type t
+
+val top : t
+val const : int -> t
+
+(** @raise Invalid_argument if [lo > hi]. *)
+val make : int -> int -> t
+
+val lo : t -> int
+val hi : t -> int
+val is_top : t -> bool
+val is_const : t -> int option
+val mem : int -> t -> bool
+val equal : t -> t -> bool
+val leq : t -> t -> bool
+val join : t -> t -> t
+
+(** [widen old next]: any bound that moved jumps to infinity, so chains
+    stabilise after at most two widenings per side. *)
+val widen : t -> t -> t
+
+(** Like {!binop}, additionally reporting the no-wrap promise: [true]
+    means no concrete operand pair drawn from the inputs overflows.  The
+    driver feeds this to the other domains' [no_wrap] hints. *)
+val binop_report : Pp_ir.Instr.ibinop -> t -> t -> t * bool
+
+val binop : no_wrap:bool -> Pp_ir.Instr.ibinop -> t -> t -> t
+val cmp : Pp_ir.Instr.cmp -> t -> t -> t
+val pp : Format.formatter -> t -> unit

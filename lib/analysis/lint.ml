@@ -102,7 +102,7 @@ let lint_proc (p : Proc.t) =
   let live = Liveness.compute cfg in
   let uninit = Uninit.compute cfg in
   unreachable @ constant_branches cfg @ Uninit.warnings uninit
-  @ Liveness.dead_stores live
+  @ Liveness.dead_stores live @ Liveness.unused_params live
 
 let run (prog : Program.t) =
   let per_proc =

@@ -93,3 +93,22 @@ let dead_stores ?(flag_zero_init = false) t =
           done)
     p.Pp_ir.Proc.blocks;
   List.rev !diags
+
+(* A parameter whose incoming value is never read is not live into the
+   entry block: every path either redefines it first or never touches
+   it. *)
+let unused_params t =
+  let p = t.cfg.Cfg.proc in
+  match live_in t p.Pp_ir.Proc.entry with
+  | None -> []
+  | Some live ->
+      List.filter_map
+        (fun id ->
+          if Bitset.mem live id then None
+          else
+            Some
+              (Diag.warning
+                 (Diag.proc_loc p.Pp_ir.Proc.name)
+                 "unused parameter: %s is never read"
+                 (Regs.name t.regs id)))
+        (Regs.params t.regs p)

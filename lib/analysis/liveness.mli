@@ -20,3 +20,7 @@ val reg_name : t -> int -> string
     unless [flag_zero_init] — the MiniC frontend emits one per
     uninitialised declaration. *)
 val dead_stores : ?flag_zero_init:bool -> t -> Pp_ir.Diag.t list
+
+(** Parameters whose incoming value is never read on any path (either
+    redefined first or never touched). *)
+val unused_params : t -> Pp_ir.Diag.t list

@@ -1071,3 +1071,282 @@ let verify_program ~original ~(manifest : Inst.manifest) instrumented =
       original.Program.procs
   end;
   List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* pp prove: abstract-interpretation certification.                    *)
+(*                                                                     *)
+(* Two clients of Absint over the instrumented CFG:                    *)
+(*   bounds      - every counter-table access stays inside the table,  *)
+(*                 8-byte aligned, and every stored counter is far     *)
+(*                 from 63-bit wraparound; every hash/CCT commit key   *)
+(*                 is provably within [0, num_paths).                  *)
+(*   taint       - instrumentation-introduced state (path register or  *)
+(*                 spill slot, PIC readings, table cells) never flows  *)
+(*                 into a program-visible register, memory word,       *)
+(*                 output, call argument, branch or return value.      *)
+(* Zero false alarms by construction on correct instrumentation: the   *)
+(* path register is reset to a constant on every backedge, so loop     *)
+(* widening never touches it, and the interval join at a commit is     *)
+(* exactly the hull of the Ball-Larus path sums.                       *)
+
+(* Counters must stay far below the 63-bit wraparound point. *)
+let counter_limit = max_int asr 2
+
+let prove_proc ~budget ~(original : Proc.t) ~(instrumented : Proc.t)
+    ~(info : Inst.proc_info) ~tables =
+  let state = Inst.state ~original ~instrumented info in
+  let policy = Taint.of_state state in
+  let aconf = Absint.config ~budget ~policy ~tables () in
+  let ai = Absint.analyze ~conf:aconf (Cfg.of_proc instrumented) in
+  let diags = ref [] in
+  let pname = instrumented.Proc.name in
+  let err loc fmt =
+    Format.kasprintf
+      (fun message ->
+        diags := { Diag.severity = Diag.Error; loc; message } :: !diags)
+      fmt
+  in
+  let orig_ireg r = r < original.Proc.niregs in
+  let orig_freg f = f < original.Proc.nfregs in
+  (* A value is program-invisible ("offending" at a sink) when it is
+     tainted or is a pointer into a counter table — the latter catches
+     table addresses laundered through clean arithmetic. *)
+  let offending (v : Absint.value) =
+    Taint.equal v.Absint.taint Taint.Tainted
+    ||
+    match v.Absint.base with
+    | Absint.Bglobal g -> Taint.is_table policy g
+    | _ -> false
+  in
+  let owned_address (a : Absint.value) =
+    match a.Absint.base with
+    | Absint.Bglobal g -> Taint.is_table policy g
+    | Absint.Bframe -> Absint.in_fresh_slots aconf a.Absint.itv
+    | _ -> false
+  in
+  let check_bounds loc ~what (a : Absint.value) ~size_words =
+    let bytes = size_words * 8 in
+    if not (Congruence.divides 8 a.Absint.cong) then
+      err loc "%s is not provably 8-byte aligned (offset %a)" what
+        Congruence.pp a.Absint.cong;
+    let lo = Interval.lo a.Absint.itv and hi = Interval.hi a.Absint.itv in
+    if lo < 0 || hi > bytes - 8 then
+      err loc "%s offset %a escapes the %d-byte table" what Interval.pp
+        a.Absint.itv bytes
+  in
+  let table_access env rb off =
+    let a = Absint.address env ~base:rb ~off in
+    match a.Absint.base with
+    | Absint.Bglobal g -> (
+        match List.assoc_opt g tables with
+        | Some size_words -> Some (a, size_words)
+        | None -> None)
+    | _ -> None
+  in
+  let check_args loc env ~args ~fargs ~target =
+    List.iter
+      (fun r ->
+        if offending (Absint.ireg env r) then
+          err loc "instrumentation state passed to a call (r%d = %a)" r
+            Absint.pp_value (Absint.ireg env r))
+      args;
+    List.iter
+      (fun f ->
+        if Taint.equal (Absint.ftaint env f) Taint.Tainted then
+          err loc "instrumentation state passed to a call (f%d)" f)
+      fargs;
+    match target with
+    | Some r when offending (Absint.ireg env r) ->
+        err loc "indirect-call target depends on instrumentation state"
+    | _ -> ()
+  in
+  let check_instr l ~pos env (instr : I.t) =
+    let loc = Diag.instr_loc pname l pos in
+    let post = Absint.transfer aconf env instr in
+    (* program-visible register definitions *)
+    List.iter
+      (fun rd ->
+        if orig_ireg rd then
+          let v = Absint.ireg post rd in
+          if offending v then
+            err loc
+              "instrumentation state flows into program register r%d (%a)"
+              rd Absint.pp_value v)
+      (I.idefs instr);
+    List.iter
+      (fun fd ->
+        if
+          orig_freg fd
+          && Taint.equal (Absint.ftaint post fd) Taint.Tainted
+        then
+          err loc "instrumentation state flows into program register f%d" fd)
+      (I.fdefs instr);
+    match instr with
+    | I.Load (_, rb, off) | I.Fload (_, rb, off) -> (
+        match table_access env rb off with
+        | Some (a, size_words) ->
+            check_bounds loc ~what:"table load" a ~size_words
+        | None -> ())
+    | I.Store (rs, rb, off) -> (
+        match table_access env rb off with
+        | Some (a, size_words) ->
+            check_bounds loc ~what:"table store" a ~size_words;
+            let v = Absint.ireg env rs in
+            let lo = Interval.lo v.Absint.itv
+            and hi = Interval.hi v.Absint.itv in
+            if lo < 0 || hi > counter_limit then
+              err loc
+                "stored counter %a is not provably within [0, 2^61]"
+                Absint.pp_value v
+        | None ->
+            let a = Absint.address env ~base:rb ~off in
+            if not (owned_address a) then begin
+              if offending (Absint.ireg env rs) then
+                err loc
+                  "instrumentation state stored to program-visible \
+                   memory (%a)"
+                  Absint.pp_value (Absint.ireg env rs);
+              if Taint.equal a.Absint.taint Taint.Tainted then
+                err loc
+                  "store through an instrumentation-derived address (%a)"
+                  Absint.pp_value a
+            end)
+    | I.Fstore (fs, rb, off) ->
+        let a = Absint.address env ~base:rb ~off in
+        if not (owned_address a) then begin
+          if Taint.equal (Absint.ftaint env fs) Taint.Tainted then
+            err loc
+              "instrumentation state stored to program-visible memory \
+               (f%d)"
+              fs;
+          if Taint.equal a.Absint.taint Taint.Tainted then
+            err loc "store through an instrumentation-derived address (%a)"
+              Absint.pp_value a
+        end
+    | I.Call { args; fargs; _ } ->
+        check_args loc env ~args ~fargs ~target:None
+    | I.Callind { target; args; fargs; _ } ->
+        check_args loc env ~args ~fargs ~target:(Some target)
+    | I.Print_int r ->
+        if offending (Absint.ireg env r) then
+          err loc "program output depends on instrumentation state (r%d)" r
+    | I.Print_float f ->
+        if Taint.equal (Absint.ftaint env f) Taint.Tainted then
+          err loc "program output depends on instrumentation state (f%d)" f
+    | I.Prof
+        ( I.Path_commit_hash { path_reg; _ }
+        | I.Path_commit_hash_hw { path_reg; _ }
+        | I.Path_commit_cct { path_reg; _ } ) ->
+        let v = Absint.ireg env path_reg in
+        let np = info.Inst.num_paths in
+        if info.Inst.numbering = None || np <= 0 then
+          err loc "table commit without a path numbering"
+        else
+          let ok =
+            v.Absint.base = Absint.Bnum
+            && Interval.lo v.Absint.itv >= 0
+            && Interval.hi v.Absint.itv < np
+          in
+          if not ok then
+            err loc "commit key r%d = %a is not provably within [0, %d)"
+              path_reg Absint.pp_value v np
+    | _ -> ()
+  in
+  let check_term l env (term : Block.terminator) =
+    let loc = Diag.term_loc pname l in
+    match term with
+    | Block.Br (r, _, _) ->
+        if offending (Absint.ireg env r) then
+          err loc "branch condition depends on instrumentation state (r%d)"
+            r
+    | Block.Ret (Block.Ret_int r) ->
+        if offending (Absint.ireg env r) then
+          err loc "return value depends on instrumentation state (r%d)" r
+    | Block.Ret (Block.Ret_float f) ->
+        if Taint.equal (Absint.ftaint env f) Taint.Tainted then
+          err loc "return value depends on instrumentation state (f%d)" f
+    | Block.Jmp _ | Block.Ret Block.Ret_void -> ()
+  in
+  Array.iter
+    (fun (b : Block.t) ->
+      let l = b.Block.label in
+      match Absint.iter_block ai l (fun ~pos env i -> check_instr l ~pos env i) with
+      | None -> ()
+      | Some tenv -> check_term l tenv b.Block.term)
+    instrumented.Proc.blocks;
+  List.rev !diags
+
+let prove_program ?(budget = 2_000_000_000) ~original
+    ~(manifest : Inst.manifest) instrumented =
+  let infos = Array.of_list manifest.Inst.infos in
+  let diags = ref [] in
+  let table_names =
+    List.concat_map
+      (fun (i : Inst.proc_info) ->
+        match i.Inst.table with
+        | Inst.Array_table { global; _ } | Inst.Edge_table { global; _ } ->
+            [ global ]
+        | Inst.No_table | Inst.Hash_table _ | Inst.Cct_table _ -> [])
+      manifest.Inst.infos
+  in
+  (* The original program must be oblivious of the counter tables, or
+     table-pointer facts could be smuggled in as ordinary data. *)
+  Array.iter
+    (fun (p : Proc.t) ->
+      Proc.iter_instrs
+        (fun l instr ->
+          match instr with
+          | I.Iconst_sym (_, s) when List.mem s table_names ->
+              diags :=
+                Diag.error
+                  (Diag.block_loc p.Proc.name l)
+                  "original program references counter table %s" s
+                :: !diags
+          | _ -> ())
+        p)
+    original.Program.procs;
+  if
+    Array.length original.Program.procs
+    <> Array.length instrumented.Program.procs
+    || Array.length infos <> Array.length original.Program.procs
+  then
+    diags :=
+      Diag.error
+        (Diag.proc_loc instrumented.Program.main)
+        "instrumented program has a different set of procedures"
+      :: !diags
+  else
+    Array.iteri
+      (fun i op ->
+        let ip = instrumented.Program.procs.(i) in
+        let info = infos.(i) in
+        if op.Proc.name <> ip.Proc.name || info.Inst.proc <> op.Proc.name
+        then
+          diags :=
+            Diag.error (Diag.proc_loc ip.Proc.name)
+              "procedure order changed during instrumentation"
+            :: !diags
+        else
+          let tables, missing =
+            match info.Inst.table with
+            | Inst.Array_table { global; _ }
+            | Inst.Edge_table { global; _ } -> (
+                match Program.find_global instrumented global with
+                | Some g -> ([ (global, g.Program.size_words) ], false)
+                | None -> ([], true))
+            | Inst.No_table | Inst.Hash_table _ | Inst.Cct_table _ ->
+                ([], false)
+          in
+          if missing then
+            diags :=
+              Diag.error (Diag.proc_loc ip.Proc.name)
+                "counter-table global is missing"
+              :: !diags
+          else
+            diags :=
+              List.rev_append
+                (prove_proc ~budget ~original:op ~instrumented:ip ~info
+                   ~tables)
+                !diags)
+      original.Program.procs;
+  List.rev !diags

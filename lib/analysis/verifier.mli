@@ -40,3 +40,30 @@ val verify_program :
   manifest:Pp_instrument.Instrument.manifest ->
   Pp_ir.Program.t ->
   Pp_ir.Diag.t list
+
+(** {2 Abstract-interpretation certification — the [pp prove] engine}
+
+    Runs {!Absint} over every instrumented procedure and checks two
+    properties on top of what {!verify_program} proves:
+
+    - {b Bounds}: every counter-table access is 8-byte aligned and inside
+      the table, every stored counter is provably within [0, 2^61] (far
+      from 63-bit wraparound), and every hash/CCT commit key is within
+      [0, num_paths) — for pruned numberings too, whose probe constants
+      are unchanged.
+    - {b Non-interference}: instrumentation-introduced state (the path
+      register or its spill slot, PIC readings, counter-table cells and
+      table addresses) never flows into a program-visible register,
+      memory word, output, call argument, branch condition or return
+      value; additionally the original program never references a
+      counter-table global.
+
+    [budget] is the VM instruction budget from which the PIC and
+    table-cell caps derive (see {!Absint.config}).  An empty list means
+    both properties are certified. *)
+val prove_program :
+  ?budget:int ->
+  original:Pp_ir.Program.t ->
+  manifest:Pp_instrument.Instrument.manifest ->
+  Pp_ir.Program.t ->
+  Pp_ir.Diag.t list

@@ -221,3 +221,30 @@ let run ?(options = default_options) ?pruner ~mode prog =
   let prog' = Program.make ~procs ~globals ~main:prog.Program.main in
   Pp_ir.Validate.run prog';
   (prog', { mode; options; infos = List.rev !infos })
+
+(* Instrumentation-state footprint, derived by comparing the original and
+   instrumented procedures: the Editor allocates fresh registers starting
+   at the original counts and fresh spill slots starting at the original
+   frame size, so the deltas are exactly the state the probes own. *)
+type state = {
+  fresh_iregs : int * int;
+  fresh_fregs : int * int;
+  fresh_slots : int * int;
+  path_home : Path_instr.path_loc option;
+  table_globals : string list;
+}
+
+let state ~(original : Proc.t) ~(instrumented : Proc.t) (info : proc_info) =
+  let table_globals =
+    match info.table with
+    | Array_table { global; _ } | Edge_table { global; _ } -> [ global ]
+    | No_table | Hash_table _ | Cct_table _ -> []
+  in
+  {
+    fresh_iregs = (original.Proc.niregs, instrumented.Proc.niregs);
+    fresh_fregs = (original.Proc.nfregs, instrumented.Proc.nfregs);
+    fresh_slots =
+      (original.Proc.frame_words * 8, instrumented.Proc.frame_words * 8);
+    path_home = info.path_loc;
+    table_globals;
+  }

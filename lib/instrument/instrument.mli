@@ -90,3 +90,24 @@ val run :
   Pp_ir.Program.t * manifest
 
 val mode_name : mode -> string
+
+(** {2 Instrumentation-state footprint}
+
+    Everything a procedure's probes own, for the abstract-interpretation
+    certifier ({!Pp_analysis} [Verifier.prove_proc]): fresh register and
+    frame-slot ranges are half-open ([lo, hi)) deltas between the original
+    and instrumented procedures — the Editor allocates monotonically from
+    the original counts, so the deltas are exact. *)
+type state = {
+  fresh_iregs : int * int;  (** integer registers the probes introduced *)
+  fresh_fregs : int * int;
+  fresh_slots : int * int;  (** frame byte offsets owned by the probes *)
+  path_home : Path_instr.path_loc option;
+  table_globals : string list;  (** counter-array globals, if any *)
+}
+
+val state :
+  original:Pp_ir.Proc.t ->
+  instrumented:Pp_ir.Proc.t ->
+  proc_info ->
+  state

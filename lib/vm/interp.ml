@@ -57,6 +57,10 @@ type t = {
   mutable telemetry : Pp_telemetry.Trace.t;
   mutable tl_interval : int;  (* simulated cycles; 0 = off *)
   mutable tl_next : int;
+  (* Block-entry probe for the abstract-interpretation soundness oracle. *)
+  mutable block_probe :
+    (proc:string -> label:int -> frame:int -> iregs:int array -> unit)
+    option;
 }
 
 let linkage_bytes = 32
@@ -154,7 +158,10 @@ let create ?(config = Pp_machine.Config.default)
     telemetry = Pp_telemetry.Trace.null;
     tl_interval = 0;
     tl_next = 0;
+    block_probe = None;
   }
+
+let set_block_probe t probe = t.block_probe <- Some probe
 
 let enable_block_trace t ~capacity =
   if capacity <= 0 then invalid_arg "Interp.enable_block_trace: capacity";
@@ -305,6 +312,10 @@ let rec exec_proc t image ~iargs ~fargs =
   let mach = t.machine in
   let rec run_block label =
     if Array.length t.trace > 0 then record_block t p.Proc.name label;
+    (match t.block_probe with
+    | None -> ()
+    | Some probe ->
+        probe ~proc:p.Proc.name ~label ~frame:(fp + linkage_bytes) ~iregs);
     let code = image.code.(label) in
     let addrs = image.addrs.(label) in
     let n = Array.length code in

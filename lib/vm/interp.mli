@@ -86,6 +86,21 @@ val enable_sampling : t -> interval:int -> unit
     included) with their hit counts; valid after {!run}. *)
 val samples : t -> (string list * int) list
 
+(** {2 Block-entry probe}
+
+    Invoked on every block entry with the executing procedure, block
+    label, the activation's frame base ([fp] plus linkage, i.e. the
+    address [Frameaddr r, 0] would produce) and the {e live} integer
+    register array (do not mutate).  The abstract-interpretation
+    soundness oracle uses it to check VM-observed register values against
+    derived intervals.  Off by default: an un-probed run takes one [None]
+    branch per block and is otherwise unchanged. *)
+val set_block_probe :
+  t ->
+  (proc:string -> label:Pp_ir.Block.label -> frame:int -> iregs:int array ->
+   unit) ->
+  unit
+
 (** Read back a path-counter global (the array-mode tables the instrumenter
     plants in the data segment): [read_table_cells t ~global ~index ~cells]
     returns the [cells] consecutive words at entry [index]. *)

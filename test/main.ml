@@ -26,6 +26,7 @@ let () =
       ("feasibility", Test_feasibility.suite);
       ("check", Test_check.suite);
       ("mutation", Test_mutation.suite);
+      ("absint", Test_absint.suite);
       ("merge", Test_merge.suite);
       ("parallel", Test_parallel.suite);
       ("telemetry", Test_telemetry.suite);
