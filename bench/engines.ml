@@ -1,0 +1,101 @@
+(* Engine comparison: simulated instructions per second, interpreted vs
+   closure-threaded compiled, per workload on the uninstrumented (base)
+   configuration.  Renders a speedup table and writes BENCH_engine.json
+   for the benchmark archive.  Wall numbers are CPU time and vary by
+   host; the differential suite (test_compile) is what certifies the two
+   engines agree bit-for-bit. *)
+
+module W = Pp_workloads.Workload
+module Registry = Pp_workloads.Registry
+module Interp = Pp_vm.Interp
+module Engine = Pp_vm.Engine
+module Event = Pp_machine.Event
+module Report = Pp_core.Report
+
+let budget = 10_000_000
+
+(* [Sys.time] granularity is coarse next to a single compiled run, so
+   each measurement repeats fresh runs (setup untimed) until at least
+   this much timed execution has accumulated. *)
+let min_seconds = 0.5
+
+type sample = { instructions : int; seconds : float }
+
+let measure ~kind prog =
+  let once () =
+    let eng = Engine.create ~kind ~max_instructions:budget prog in
+    Interp.select_pics (Engine.vm eng) ~pic0:Event.Dcache_misses
+      ~pic1:Event.Instructions;
+    let t0 = Sys.time () in
+    (* A budget trap is a normal way to finish: the counters still hold
+       the work done, which is all throughput needs. *)
+    (try ignore (Engine.run eng) with Interp.Trap _ -> ());
+    let seconds = Sys.time () -. t0 in
+    let r = Interp.collect_result (Engine.vm eng) in
+    (r.Interp.instructions, seconds)
+  in
+  let run_insts, s0 = once () in
+  let total = ref run_insts and seconds = ref s0 in
+  while !seconds < min_seconds do
+    let n, s = once () in
+    total := !total + n;
+    seconds := !seconds +. s
+  done;
+  (* [instructions] is one run's count (the workload's size); the rate
+     uses everything accumulated. *)
+  {
+    instructions = run_insts;
+    seconds = (!seconds *. float_of_int run_insts) /. float_of_int !total;
+  }
+
+let ips s =
+  if s.seconds <= 0.0 then 0.0 else float_of_int s.instructions /. s.seconds
+
+let run () =
+  print_endline
+    "== engine: interpreted vs compiled throughput (instructions/sec) ==";
+  let rows = ref [] in
+  let json = Buffer.create 1024 in
+  Buffer.add_string json "[";
+  List.iteri
+    (fun i (w : W.t) ->
+      let prog = W.compile w in
+      let si = measure ~kind:Engine.Interpreted prog in
+      let sc = measure ~kind:Engine.Compiled prog in
+      let ii = ips si and ic = ips sc in
+      let speedup = if ii > 0.0 then ic /. ii else 0.0 in
+      rows :=
+        `Row
+          [
+            w.W.name;
+            string_of_int si.instructions;
+            Printf.sprintf "%.2e" ii;
+            Printf.sprintf "%.2e" ic;
+            Printf.sprintf "%.1fx" speedup;
+          ]
+        :: !rows;
+      if i > 0 then Buffer.add_string json ",";
+      Buffer.add_string json
+        (Printf.sprintf
+           "\n  {\"workload\": %S, \"instructions\": %d, \
+            \"interp_ips\": %.0f, \"compiled_ips\": %.0f, \"speedup\": \
+            %.2f}"
+           w.W.name si.instructions ii ic speedup))
+    Registry.all;
+  Buffer.add_string json "\n]\n";
+  print_string
+    (Report.render
+       ~columns:
+         [
+           ("Workload", Report.Left);
+           ("Insts", Report.Right);
+           ("Interp i/s", Report.Right);
+           ("Compiled i/s", Report.Right);
+           ("Speedup", Report.Right);
+         ]
+       ~rows:(List.rev !rows));
+  let oc = open_out "BENCH_engine.json" in
+  output_string oc (Buffer.contents json);
+  close_out oc;
+  Printf.printf "wrote BENCH_engine.json (%d workloads)\n"
+    (List.length Registry.all)

@@ -25,6 +25,7 @@ module Runtime = Pp_vm.Runtime
 module Registry = Pp_workloads.Registry
 module Cct_io = Pp_core.Cct_io
 module Profile_io = Pp_core.Profile_io
+module Engine = Pp_vm.Engine
 module Pool = Pp_run.Pool
 module Matrix = Pp_run.Matrix
 module Checkpoint = Pp_run.Checkpoint
@@ -124,6 +125,28 @@ let exit_invalid d =
   Printf.eprintf "pp: %s\n" (Diag.to_string d);
   exit 2
 
+(* --engine on run/profile/bench/chaos.  Parsed by hand instead of
+   Arg.enum so an invalid value exits 2 through the shared diagnostic
+   path (cmdliner's own parse errors exit 124). *)
+let engine_opt =
+  Arg.(value & opt string (Engine.kind_name Engine.default)
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Execution tier: 'compiled' (closure-threaded, the \
+                 default) or 'interp' (the per-instruction reference \
+                 interpreter).  Both are certified byte-identical — \
+                 counters, profiles and output match exactly — so the \
+                 choice only affects wall-clock speed.")
+
+let parse_engine s =
+  match Engine.kind_of_string s with
+  | Some k -> k
+  | None ->
+      exit_invalid
+        (Diag.error (Diag.proc_loc "<cli>")
+           "--engine must be one of: %s (got %S)"
+           (String.concat ", " (List.map Engine.kind_name Engine.kinds))
+           s)
+
 let require_positive ~flag v =
   if v <= 0 then
     exit_invalid
@@ -173,7 +196,8 @@ let merge_counters a b =
 let run_cmd =
   let doc = "Execute a program uninstrumented and report its counters." in
   let action file workload budget counters shards jobs retries checkpoint_dir
-      telemetry =
+      engine telemetry =
+    let engine = parse_engine engine in
     require_positive ~flag:"shards" shards;
     require_positive ~flag:"jobs" jobs;
     require_positive ~flag:"retries" retries;
@@ -186,7 +210,8 @@ let run_cmd =
     | Error msg -> exit_err msg
     | Ok prog when shards <= 1 -> (
         match
-          Interp.run (Interp.create ~max_instructions:budget prog)
+          Engine.run
+            (Engine.create ~kind:engine ~max_instructions:budget prog)
         with
         | r ->
             print_output r;
@@ -223,7 +248,10 @@ let run_cmd =
         let outcomes, stats =
           Pool.map_retry ~jobs ~retries
             (fun ~attempt:_ shard ->
-              let r = Interp.run (Interp.create ~max_instructions:budget prog) in
+              let r =
+                Engine.run
+                  (Engine.create ~kind:engine ~max_instructions:budget prog)
+              in
               record_run r;
               (* Persist from the worker, the moment the shard completes:
                  a run killed mid-flight still leaves every finished
@@ -317,7 +345,7 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const action $ file $ workload_opt $ budget $ counters $ shards
-          $ jobs $ retries $ checkpoint_dir $ telemetry_opt)
+          $ jobs $ retries $ checkpoint_dir $ engine_opt $ telemetry_opt)
 
 (* --- pp profile --- *)
 
@@ -407,7 +435,8 @@ let profile_cmd =
      profile."
   in
   let action file workload budget mode pic0 pic1 top cct_out dot_out
-      profile_out telemetry =
+      profile_out engine telemetry =
+    let engine = parse_engine engine in
     require_positive ~flag:"budget" budget;
     require_positive ~flag:"top" top;
     match load ~file ~workload with
@@ -418,7 +447,7 @@ let profile_cmd =
            footprints and annotates saved shards. *)
         let session =
           Driver.prepare ~pruner:Pp_analysis.Feasibility.pruner
-            ~max_instructions:budget ~pics:(pic0, pic1) ~mode prog
+            ~max_instructions:budget ~pics:(pic0, pic1) ~engine ~mode prog
         in
         match Driver.run session with
         | exception Interp.Trap msg -> exit_err ("trap: " ^ msg)
@@ -540,7 +569,7 @@ let profile_cmd =
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(
       const action $ file $ workload_opt $ budget $ mode $ pic0 $ pic1 $ top
-      $ cct_out $ dot_out $ profile_out $ telemetry_opt)
+      $ cct_out $ dot_out $ profile_out $ engine_opt $ telemetry_opt)
 
 (* --- pp paths --- *)
 
@@ -1184,7 +1213,8 @@ let bench_cmd =
      evaluation grid) through the process pool and print one deterministic \
      report: byte-identical at any --jobs."
   in
-  let action jobs timeout budget workloads modes telemetry =
+  let action jobs timeout budget workloads modes engine telemetry =
+    let engine = parse_engine engine in
     require_positive ~flag:"jobs" jobs;
     require_positive ~flag:"budget" budget;
     require_non_negative_f ~flag:"timeout" timeout;
@@ -1209,7 +1239,7 @@ let bench_cmd =
     let results, stats =
       Matrix.run_stats ~jobs
         ?timeout:(if timeout > 0.0 then Some timeout else None)
-        ~budget tasks
+        ~budget ~engine tasks
     in
     print_string (Matrix.report results);
     (* Per-worker wall times are wall-clock dependent: stderr only, so
@@ -1246,7 +1276,7 @@ let bench_cmd =
   in
   Cmd.v (Cmd.info "bench" ~doc)
     Term.(const action $ jobs $ timeout $ budget $ workloads $ modes
-          $ telemetry_opt)
+          $ engine_opt $ telemetry_opt)
 
 (* --- pp merge --- *)
 
@@ -1508,7 +1538,8 @@ let chaos_cmd =
      partial (degraded coverage), 1 if the recovered profile differs."
   in
   let action file workload budget mode shards jobs retries timeout seed kind
-      dir telemetry =
+      dir engine telemetry =
+    let engine = parse_engine engine in
     require_positive ~flag:"shards" shards;
     require_positive ~flag:"jobs" jobs;
     require_positive ~flag:"retries" retries;
@@ -1527,8 +1558,8 @@ let chaos_cmd =
           (fun line -> Printf.printf "  %s\n" line)
           (Faults.describe_plan plan);
         match
-          Chaos.run ~dir ~mode ~budget ~jobs ~retries ~timeout ~plan ~shards
-            prog
+          Chaos.run ~dir ~mode ~budget ~engine ~jobs ~retries ~timeout ~plan
+            ~shards prog
         with
         | Error d -> exit_err (Diag.to_string d)
         | Ok r ->
@@ -1622,7 +1653,7 @@ let chaos_cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
       const action $ file $ workload_opt $ budget $ mode $ shards $ jobs
-      $ retries $ timeout $ seed $ kind $ dir $ telemetry_opt)
+      $ retries $ timeout $ seed $ kind $ dir $ engine_opt $ telemetry_opt)
 
 (* --- pp workloads --- *)
 

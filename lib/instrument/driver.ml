@@ -8,11 +8,14 @@ module Program = Pp_ir.Program
 module Proc = Pp_ir.Proc
 module Trace = Pp_telemetry.Trace
 
+module Engine = Pp_vm.Engine
+
 type session = {
   original : Program.t;
   instrumented : Program.t;
   manifest : Instrument.manifest;
   vm : Interp.t;
+  engine : Engine.t;
   trace : Trace.t;
 }
 
@@ -20,7 +23,7 @@ let default_pics = (Event.Dcache_misses, Event.Instructions)
 
 let prepare ?options ?pruner ?config ?max_instructions
     ?(pics = default_pics) ?(telemetry = Trace.null) ?telemetry_interval
-    ~mode prog =
+    ?engine ~mode prog =
   let instrumented, manifest =
     Trace.with_span telemetry "instrument" (fun () ->
         Instrument.run ?options ?pruner ~mode prog)
@@ -63,16 +66,25 @@ let prepare ?options ?pruner ?config ?max_instructions
   | Some interval when Trace.enabled telemetry ->
       Interp.set_telemetry vm ~trace:telemetry ~interval
   | _ -> ());
-  { original = prog; instrumented; manifest; vm; trace = telemetry }
+  {
+    original = prog;
+    instrumented;
+    manifest;
+    vm;
+    engine = Engine.of_vm ?kind:engine vm;
+    trace = telemetry;
+  }
 
 let run session =
-  Trace.with_span session.trace "execute" (fun () -> Interp.run session.vm)
+  Trace.with_span session.trace "execute" (fun () ->
+      Engine.run session.engine)
 
-let run_baseline ?config ?max_instructions ?(pics = default_pics) prog =
-  let vm = Interp.create ?config ?max_instructions prog in
+let run_baseline ?config ?max_instructions ?(pics = default_pics) ?engine
+    prog =
+  let eng = Engine.create ?kind:engine ?config ?max_instructions prog in
   let pic0, pic1 = pics in
-  Interp.select_pics vm ~pic0 ~pic1;
-  Interp.run vm
+  Interp.select_pics (Engine.vm eng) ~pic0 ~pic1;
+  Engine.run eng
 
 let cct session = Runtime.cct (Interp.runtime session.vm)
 

@@ -13,6 +13,9 @@ type session = {
   instrumented : Pp_ir.Program.t;
   manifest : Instrument.manifest;
   vm : Pp_vm.Interp.t;
+  engine : Pp_vm.Engine.t;
+      (** the execution engine wrapping [vm]; {!run} dispatches through
+          it (default: {!Pp_vm.Engine.default}, the compiled tier) *)
   trace : Pp_telemetry.Trace.t;
       (** the session's telemetry sink; {!Pp_telemetry.Trace.null} unless
           [prepare] was given one *)
@@ -31,7 +34,11 @@ type session = {
     ({!Pp_vm.Interp.set_telemetry}).  The default sink is
     {!Pp_telemetry.Trace.null}, under which every telemetry call site is
     a dead branch — results and profiles are byte-identical with
-    telemetry off. *)
+    telemetry off.
+
+    [engine] selects the execution tier for {!run} (default
+    {!Pp_vm.Engine.default}); both tiers are certified byte-identical by
+    the differential suite, so the choice only affects speed. *)
 val prepare :
   ?options:Instrument.options ->
   ?pruner:Instrument.pruner ->
@@ -40,6 +47,7 @@ val prepare :
   ?pics:Event.t * Event.t ->
   ?telemetry:Pp_telemetry.Trace.t ->
   ?telemetry_interval:int ->
+  ?engine:Pp_vm.Engine.kind ->
   mode:Instrument.mode ->
   Pp_ir.Program.t ->
   session
@@ -53,6 +61,7 @@ val run_baseline :
   ?config:Pp_machine.Config.t ->
   ?max_instructions:int ->
   ?pics:Event.t * Event.t ->
+  ?engine:Pp_vm.Engine.kind ->
   Pp_ir.Program.t ->
   Pp_vm.Interp.result
 

@@ -9,14 +9,16 @@ let create ~table_size =
     invalid_arg "Branch_pred.create: table size must be a power of two";
   { mask = table_size - 1; counters = Array.make table_size weakly_taken }
 
-let predict_and_update t ~addr ~taken =
+let[@inline] predict_and_update t ~addr ~taken =
   (* Instructions are 4 bytes; drop the low bits so consecutive branches use
      different entries. *)
   let idx = (addr lsr 2) land t.mask in
-  let c = t.counters.(idx) in
+  let c = Array.unsafe_get t.counters idx in
   let predicted_taken = c >= 2 in
-  t.counters.(idx) <-
-    (if taken then min 3 (c + 1) else max 0 (c - 1));
+  Array.unsafe_set t.counters idx
+    (if taken then if c < 3 then c + 1 else 3
+     else if c > 0 then c - 1
+     else 0);
   predicted_taken = taken
 
 let clear t =

@@ -77,6 +77,196 @@ let write t addr =
       t.misses <- t.misses + 1;
       false
 
+(* Allocation-free variants of [read]/[write] for the compiled engine's
+   batched block application.  Same observable behaviour — accesses,
+   misses, tags, stamps and clock advance exactly as in [read]/[write] —
+   but the way scan is inlined so no option or tuple is boxed per
+   probe. *)
+
+let read_hot t addr =
+  t.accesses <- t.accesses + 1;
+  let line = addr lsr t.line_shift in
+  let ways = t.ways in
+  if ways = 1 then begin
+    (* Direct-mapped: the set's one slot is both hit candidate and
+       victim, and a read always stamps it. *)
+    let set = line land t.set_mask in
+    let clock = t.clock + 1 in
+    t.clock <- clock;
+    Array.unsafe_set t.stamp set clock;
+    if Array.unsafe_get t.tags set = line then true
+    else begin
+      t.misses <- t.misses + 1;
+      Array.unsafe_set t.tags set line;
+      false
+    end
+  end
+  else if ways = 2 then begin
+    let base = (line land t.set_mask) * 2 in
+    let tags = t.tags and stamp = t.stamp in
+    let clock = t.clock + 1 in
+    t.clock <- clock;
+    if Array.unsafe_get tags base = line then begin
+      Array.unsafe_set stamp base clock;
+      true
+    end
+    else if Array.unsafe_get tags (base + 1) = line then begin
+      Array.unsafe_set stamp (base + 1) clock;
+      true
+    end
+    else begin
+      t.misses <- t.misses + 1;
+      (* LRU victim; ties pick the first way, as [victim] does. *)
+      let v =
+        if Array.unsafe_get stamp (base + 1) < Array.unsafe_get stamp base
+        then base + 1
+        else base
+      in
+      Array.unsafe_set tags v line;
+      Array.unsafe_set stamp v clock;
+      false
+    end
+  end
+  else begin
+    let base = (line land t.set_mask) * ways in
+    let tags = t.tags in
+    let rec scan i =
+      if i >= ways then begin
+        t.misses <- t.misses + 1;
+        let slot = victim t base in
+        Array.unsafe_set tags slot line;
+        touch t slot;
+        false
+      end
+      else if Array.unsafe_get tags (base + i) = line then begin
+        touch t (base + i);
+        true
+      end
+      else scan (i + 1)
+    in
+    scan 0
+  end
+
+let write_hot t addr =
+  t.accesses <- t.accesses + 1;
+  let line = addr lsr t.line_shift in
+  let ways = t.ways in
+  if ways = 1 then begin
+    (* A write only stamps (and advances the clock) on a hit. *)
+    let set = line land t.set_mask in
+    if Array.unsafe_get t.tags set = line then begin
+      let clock = t.clock + 1 in
+      t.clock <- clock;
+      Array.unsafe_set t.stamp set clock;
+      true
+    end
+    else begin
+      t.misses <- t.misses + 1;
+      false
+    end
+  end
+  else if ways = 2 then begin
+    let base = (line land t.set_mask) * 2 in
+    let tags = t.tags in
+    if Array.unsafe_get tags base = line then begin
+      let clock = t.clock + 1 in
+      t.clock <- clock;
+      Array.unsafe_set t.stamp base clock;
+      true
+    end
+    else if Array.unsafe_get tags (base + 1) = line then begin
+      let clock = t.clock + 1 in
+      t.clock <- clock;
+      Array.unsafe_set t.stamp (base + 1) clock;
+      true
+    end
+    else begin
+      t.misses <- t.misses + 1;
+      false
+    end
+  end
+  else begin
+    let base = (line land t.set_mask) * ways in
+    let tags = t.tags in
+    let rec scan i =
+      if i >= ways then begin
+        t.misses <- t.misses + 1;
+        false
+      end
+      else if Array.unsafe_get tags (base + i) = line then begin
+        touch t (base + i);
+        true
+      end
+      else scan (i + 1)
+    in
+    scan 0
+  end
+
+(* One call per block instead of one per probe: [read_many t addrs n]
+   reads the first [n] addresses of [addrs] in order and returns how many
+   missed.  State evolves exactly as [n] successive [read]s; the common
+   geometries (direct-mapped, 2-way) get tight specialised loops. *)
+
+let read_many_direct t addrs n =
+  let tags = t.tags and stamp = t.stamp in
+  let shift = t.line_shift and mask = t.set_mask in
+  let clock = ref t.clock and misses = ref 0 in
+  for i = 0 to n - 1 do
+    let line = Array.unsafe_get addrs i lsr shift in
+    let set = line land mask in
+    if Array.unsafe_get tags set <> line then begin
+      incr misses;
+      Array.unsafe_set tags set line
+    end;
+    incr clock;
+    Array.unsafe_set stamp set !clock
+  done;
+  t.clock <- !clock;
+  t.accesses <- t.accesses + n;
+  t.misses <- t.misses + !misses;
+  !misses
+
+let read_many_2way t addrs n =
+  let tags = t.tags and stamp = t.stamp in
+  let shift = t.line_shift and mask = t.set_mask in
+  let clock = ref t.clock and misses = ref 0 in
+  for i = 0 to n - 1 do
+    let line = Array.unsafe_get addrs i lsr shift in
+    let base = (line land mask) * 2 in
+    let slot =
+      if Array.unsafe_get tags base = line then base
+      else if Array.unsafe_get tags (base + 1) = line then base + 1
+      else begin
+        incr misses;
+        (* LRU victim; ties pick the first way, as [victim] does. *)
+        let v =
+          if Array.unsafe_get stamp (base + 1) < Array.unsafe_get stamp base
+          then base + 1
+          else base
+        in
+        Array.unsafe_set tags v line;
+        v
+      end
+    in
+    incr clock;
+    Array.unsafe_set stamp slot !clock
+  done;
+  t.clock <- !clock;
+  t.accesses <- t.accesses + n;
+  t.misses <- t.misses + !misses;
+  !misses
+
+let read_many t addrs n =
+  if t.ways = 1 then read_many_direct t addrs n
+  else if t.ways = 2 then read_many_2way t addrs n
+  else begin
+    let misses0 = t.misses in
+    for i = 0 to n - 1 do
+      ignore (read_hot t (Array.unsafe_get addrs i))
+    done;
+    t.misses - misses0
+  end
+
 let probe t addr =
   let _, _, hit = find t addr in
   hit <> None

@@ -18,6 +18,18 @@ val read : t -> int -> bool
     hit, and a miss leaves the cache unchanged.  Returns [true] on hit. *)
 val write : t -> int -> bool
 
+(** Allocation-free [read], used on the compiled engine's batched block
+    path.  Observable behaviour is identical to {!read}. *)
+val read_hot : t -> int -> bool
+
+(** Allocation-free [write]; observable behaviour identical to {!write}. *)
+val write_hot : t -> int -> bool
+
+(** [read_many t addrs n] reads [addrs.(0..n-1)] in order and returns the
+    number of misses; state evolves exactly as [n] successive {!read}s.
+    One call per compiled block instead of one per probe. *)
+val read_many : t -> int array -> int -> int
+
 (** [probe t addr] tests for presence without disturbing any state. *)
 val probe : t -> int -> bool
 

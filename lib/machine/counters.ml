@@ -30,6 +30,17 @@ let selection t = (t.pic0_event, t.pic1_event)
 
 let bump t e n = t.totals.(Event.to_int e) <- t.totals.(Event.to_int e) + n
 
+(* Hot-path variant for the compiled engine's batched block application:
+   the event index is resolved once at block-compile time, and the add
+   skips the bounds checks (indices come from [ix], so they are always in
+   range). *)
+let ix e = Event.to_int e
+
+let[@inline always] unsafe_add t i n =
+  Array.unsafe_set t.totals i (Array.unsafe_get t.totals i + n)
+
+let raw_totals t = t.totals
+
 let totals t = List.map (fun e -> (e, total t e)) Event.all
 
 let mask32 = 0xFFFF_FFFF

@@ -1,11 +1,12 @@
 type t = {
   config : Config.t;
   mutable ready : int array;  (* per FP register: cycle when ready *)
+  mutable hi : int;  (* registers 0..hi-1 may hold non-zero stamps *)
 }
 
 type op_class = Fp_add | Fp_mul | Fp_div
 
-let create config ~nregs = { config; ready = Array.make (max nregs 1) 0 }
+let create config ~nregs = { config; ready = Array.make (max nregs 1) 0; hi = 0 }
 
 let ensure t ~nregs =
   if nregs > Array.length t.ready then begin
@@ -20,16 +21,44 @@ let latency t = function
   | Fp_div -> t.config.Config.fp_div_latency
 
 let wait t ~now srcs =
-  List.fold_left (fun acc s -> max acc (t.ready.(s) - now)) 0 srcs
+  List.fold_left
+    (fun acc s ->
+      let d = t.ready.(s) - now in
+      if d > acc then d else acc)
+    0 srcs
 
 let issue t ~now ~cls ~dst ~srcs =
   let stall = wait t ~now srcs in
   let start = now + stall in
   t.ready.(dst) <- start + latency t cls;
+  if dst >= t.hi then t.hi <- dst + 1;
   stall
 
-let use t ~now ~src = wait t ~now [ src ]
+(* [issue] specialised to two sources — every [Fbinop] has exactly two —
+   so the hot path folds no list.  Behaviour identical to
+   [issue ~srcs:[s1; s2]]. *)
+let issue2 t ~now ~cls ~dst ~s1 ~s2 =
+  let r = t.ready in
+  let d1 = r.(s1) - now in
+  let d2 = r.(s2) - now in
+  let d = if d1 > d2 then d1 else d2 in
+  let stall = if d > 0 then d else 0 in
+  r.(dst) <- now + stall + latency t cls;
+  if dst >= t.hi then t.hi <- dst + 1;
+  stall
 
-let define t ~now ~dst = t.ready.(dst) <- now
+let use t ~now ~src =
+  let d = t.ready.(src) - now in
+  if d > 0 then d else 0
 
-let clear t = Array.fill t.ready 0 (Array.length t.ready) 0
+let define t ~now ~dst =
+  t.ready.(dst) <- now;
+  if dst >= t.hi then t.hi <- dst + 1
+
+(* Only registers at or above the high-water mark can hold non-zero
+   stamps, so the fill stops there — a no-op for integer-only frames. *)
+let clear t =
+  if t.hi > 0 then begin
+    Array.fill t.ready 0 t.hi 0;
+    t.hi <- 0
+  end

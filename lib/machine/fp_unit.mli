@@ -18,6 +18,11 @@ type op_class = Fp_add | Fp_mul | Fp_div
     becomes ready [latency cls] cycles after actual issue. *)
 val issue : t -> now:int -> cls:op_class -> dst:int -> srcs:int list -> int
 
+(** [issue] specialised to exactly two sources (every [Fbinop]); identical
+    behaviour to [issue ~srcs:[s1; s2]], no list on the hot path. *)
+val issue2 :
+  t -> now:int -> cls:op_class -> dst:int -> s1:int -> s2:int -> int
+
 (** [use t ~now ~src] stalls a non-FP consumer (store, compare, conversion)
     on a pending FP result; returns stall cycles. *)
 val use : t -> now:int -> src:int -> int

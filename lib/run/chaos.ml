@@ -29,16 +29,16 @@ let coverage r =
 
 let shard_path dir k = Filename.concat dir (Printf.sprintf "shard-%d.pprof" k)
 
-let profile_once ?budget ~mode prog =
-  let session = Driver.prepare ?max_instructions:budget ~mode prog in
+let profile_once ?budget ?engine ~mode prog =
+  let session = Driver.prepare ?max_instructions:budget ?engine ~mode prog in
   ignore (Driver.run session);
   Profile_io.of_profile
     ~program_hash:(Profile_io.program_hash prog)
     ~mode:(Instrument.mode_name mode)
     (Driver.path_profile session)
 
-let run ~dir ?(mode = Instrument.Flow_hw) ?budget ?(jobs = 2) ?(retries = 3)
-    ?(timeout = 10.0) ?sleep ~plan ~shards prog =
+let run ~dir ?(mode = Instrument.Flow_hw) ?budget ?engine ?(jobs = 2)
+    ?(retries = 3) ?(timeout = 10.0) ?sleep ~plan ~shards prog =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   (* Clear leftovers so a previous run can never mask a lost shard. *)
   for k = 0 to shards - 1 do
@@ -46,7 +46,7 @@ let run ~dir ?(mode = Instrument.Flow_hw) ?budget ?(jobs = 2) ?(retries = 3)
       (fun p -> if Sys.file_exists p then Sys.remove p)
       [ shard_path dir k; shard_path dir k ^ ".tmp" ]
   done;
-  match profile_once ?budget ~mode prog with
+  match profile_once ?budget ?engine ~mode prog with
   | exception e ->
       Error
         (Diag.error (Diag.proc_loc "<chaos>") "fault-free run failed: %s"
@@ -61,7 +61,7 @@ let run ~dir ?(mode = Instrument.Flow_hw) ?budget ?(jobs = 2) ?(retries = 3)
             | Some Faults.Crash -> failwith "injected crash"
             | Some (Faults.Stall s) -> Unix.sleepf s
             | _ -> ());
-            let saved = profile_once ?budget ~mode prog in
+            let saved = profile_once ?budget ?engine ~mode prog in
             Profile_io.to_file
               ?fault:(Option.bind fault Faults.write_fault)
               (shard_path dir k) saved;

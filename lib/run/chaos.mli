@@ -53,12 +53,16 @@ val coverage : report -> string
     attempt budget (default 3 — enough for any plan with the default
     [max_attempt]); [timeout] (default 10s) turns stalls into kills when
     [jobs >= 2] (default 2); [sleep] stubs the backoff waits in tests.
+    [engine] selects the execution tier for the reference and every shard
+    (default {!Pp_vm.Engine.default}); the chaos invariant holds under
+    either tier since both produce byte-identical profiles.
     Returns [Error] only if the program itself cannot be profiled
     fault-free. *)
 val run :
   dir:string ->
   ?mode:Pp_instrument.Instrument.mode ->
   ?budget:int ->
+  ?engine:Pp_vm.Engine.kind ->
   ?jobs:int ->
   ?retries:int ->
   ?timeout:float ->

@@ -63,7 +63,7 @@ let record_metrics task (c : cell) =
     c.instructions;
   Pp_telemetry.Metrics.observe m "matrix.cycles" c.cycles
 
-let measure_cell ?(budget = default_budget) task =
+let measure_cell ?(budget = default_budget) ?engine task =
   let w =
     match Registry.find task.workload with
     | Some w -> w
@@ -73,7 +73,7 @@ let measure_cell ?(budget = default_budget) task =
   let pics = (Event.Dcache_misses, Event.Instructions) in
   match task.config with
   | Base ->
-      let r = Driver.run_baseline ~max_instructions:budget ~pics prog in
+      let r = Driver.run_baseline ~max_instructions:budget ~pics ?engine prog in
       {
         instructions = r.Interp.instructions;
         cycles = r.Interp.cycles;
@@ -83,7 +83,9 @@ let measure_cell ?(budget = default_budget) task =
         saved = None;
       }
   | Mode mode ->
-      let session = Driver.prepare ~max_instructions:budget ~pics ~mode prog in
+      let session =
+        Driver.prepare ~max_instructions:budget ~pics ?engine ~mode prog
+      in
       let r = Driver.run session in
       let detail, saved =
         match mode with
@@ -131,16 +133,19 @@ let measure_cell ?(budget = default_budget) task =
         saved;
       }
 
-let measure ?budget task =
-  let cell = measure_cell ?budget task in
+let measure ?budget ?engine task =
+  let cell = measure_cell ?budget ?engine task in
   record_metrics task cell;
   cell
 
-let run_stats ?jobs ?timeout ?budget tasks =
-  let outcomes, stats = Pool.map_stats ?jobs ?timeout (measure ?budget) tasks in
+let run_stats ?jobs ?timeout ?budget ?engine tasks =
+  let outcomes, stats =
+    Pool.map_stats ?jobs ?timeout (measure ?budget ?engine) tasks
+  in
   (List.map2 (fun t o -> (t, o)) tasks outcomes, stats)
 
-let run ?jobs ?timeout ?budget tasks = fst (run_stats ?jobs ?timeout ?budget tasks)
+let run ?jobs ?timeout ?budget ?engine tasks =
+  fst (run_stats ?jobs ?timeout ?budget ?engine tasks)
 
 (* The report is a pure function of the outcome list, which the pool returns
    in task order: byte-identical output at any --jobs. *)

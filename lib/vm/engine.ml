@@ -1,0 +1,39 @@
+type kind = Interpreted | Compiled
+
+let default = Compiled
+let kinds = [ Interpreted; Compiled ]
+let kind_name = function Interpreted -> "interp" | Compiled -> "compiled"
+
+let kind_of_string = function
+  | "interp" -> Some Interpreted
+  | "compiled" -> Some Compiled
+  | _ -> None
+
+type t = {
+  vm : Interp.t;
+  kind : kind;
+  mutable compiled : Compile.t option;  (* translated on first run *)
+}
+
+let of_vm ?(kind = default) vm = { vm; kind; compiled = None }
+
+let create ?(kind = default) ?config ?max_instructions ?merge_call_sites
+    prog =
+  of_vm ~kind (Interp.create ?config ?max_instructions ?merge_call_sites prog)
+
+let vm t = t.vm
+let kind t = t.kind
+
+let run t =
+  match t.kind with
+  | Interpreted -> Interp.run t.vm
+  | Compiled ->
+      let c =
+        match t.compiled with
+        | Some c -> c
+        | None ->
+            let c = Compile.create t.vm in
+            t.compiled <- Some c;
+            c
+      in
+      Compile.run c

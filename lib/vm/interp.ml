@@ -31,6 +31,12 @@ type image = {
   frame_bytes : int;  (* linkage area + local arrays *)
 }
 
+(* State the compiled tier polls once per block: one flag covering every
+   per-block hook (trace ring, block probe, stack sampling, telemetry).
+   Compiled closures capture this record and skip the hook calls while it
+   is false; every hook setter refreshes it. *)
+type hot = { mutable hooks : bool }
+
 type t = {
   prog : Program.t;
   layout : Layout.t;
@@ -61,6 +67,7 @@ type t = {
   mutable block_probe :
     (proc:string -> label:int -> frame:int -> iregs:int array -> unit)
     option;
+  hot : hot;
 }
 
 let linkage_bytes = 32
@@ -159,15 +166,25 @@ let create ?(config = Pp_machine.Config.default)
     tl_interval = 0;
     tl_next = 0;
     block_probe = None;
+    hot = { hooks = false };
   }
 
-let set_block_probe t probe = t.block_probe <- Some probe
+let refresh_hot t =
+  t.hot.hooks <-
+    Array.length t.trace > 0
+    || (match t.block_probe with Some _ -> true | None -> false)
+    || t.sample_interval > 0 || t.tl_interval > 0
+
+let set_block_probe t probe =
+  t.block_probe <- Some probe;
+  refresh_hot t
 
 let enable_block_trace t ~capacity =
   if capacity <= 0 then invalid_arg "Interp.enable_block_trace: capacity";
   t.trace <- Array.make capacity ("", -1);
   t.trace_next <- 0;
-  t.trace_filled <- false
+  t.trace_filled <- false;
+  refresh_hot t
 
 let recent_blocks t =
   let cap = Array.length t.trace in
@@ -192,7 +209,8 @@ let record_block t proc label =
 let enable_sampling t ~interval =
   if interval <= 0 then invalid_arg "Interp.enable_sampling: interval <= 0";
   t.sample_interval <- interval;
-  t.next_sample <- Machine.now t.machine + interval
+  t.next_sample <- Machine.now t.machine + interval;
+  refresh_hot t
 
 let samples t =
   Hashtbl.fold (fun k v acc -> (List.rev k, !v) :: acc) t.samples []
@@ -210,7 +228,8 @@ let set_telemetry t ~trace ~interval =
   if interval <= 0 then invalid_arg "Interp.set_telemetry: interval <= 0";
   t.telemetry <- trace;
   t.tl_interval <- interval;
-  t.tl_next <- Machine.now t.machine + interval
+  t.tl_next <- Machine.now t.machine + interval;
+  refresh_hot t
 
 let take_telemetry t =
   let now = Machine.now t.machine in
@@ -441,7 +460,8 @@ and exec_instr t image iregs fregs fp addr instr =
   | I.Print_float f ->
       Machine.fp_use mach ~src:f;
       t.output_rev <- Ofloat fregs.(f) :: t.output_rev
-  | I.Prof op -> exec_prof t image ~op_addr:addr ~fp iregs op
+  | I.Prof op ->
+      exec_prof t ~proc_name:image.proc.Proc.name ~op_addr:addr ~fp iregs op
 
 and do_call t _image iregs fregs ~callee_idx ~args ~fas ~ret =
   let callee_image = t.images.(callee_idx) in
@@ -460,12 +480,11 @@ and do_call t _image iregs fregs ~callee_idx ~args ~fas ~ret =
   | I.Rint _, (Vfloat _ | Vvoid) | I.Rfloat _, (Vint _ | Vvoid) ->
       trap "call return kind mismatch"
 
-and exec_prof t image ~op_addr ~fp iregs op =
+and exec_prof t ~proc_name ~op_addr ~fp iregs op =
   let rt = t.runtime in
   match op with
   | I.Cct_enter { nsites; _ } ->
-      Runtime.cct_enter rt ~proc_name:image.proc.Proc.name ~nsites ~op_addr
-        ~fp
+      Runtime.cct_enter rt ~proc_name ~nsites ~op_addr ~fp
   | I.Cct_exit -> Runtime.cct_exit rt ~op_addr ~fp
   | I.Cct_call { site; indirect } ->
       Runtime.cct_call rt ~site ~indirect ~op_addr
@@ -481,11 +500,7 @@ and exec_prof t image ~op_addr ~fp iregs op =
   | I.Path_commit_cct { table; path_reg } ->
       Runtime.path_commit_cct rt ~table ~key:iregs.(path_reg) ~op_addr
 
-let run t =
-  let v = exec_proc t t.images.(t.main_index) ~iargs:[] ~fargs:[] in
-  (match v with
-  | Vvoid -> ()
-  | Vint _ | Vfloat _ -> trap "main returned a value");
+let collect_result t =
   let counters = Counters.totals (Machine.counters t.machine) in
   {
     counters;
@@ -494,6 +509,50 @@ let run t =
     instructions =
       Counters.total (Machine.counters t.machine) Event.Instructions;
   }
+
+let run t =
+  let v = exec_proc t t.images.(t.main_index) ~iargs:[] ~fargs:[] in
+  (match v with
+  | Vvoid -> ()
+  | Vint _ | Vfloat _ -> trap "main returned a value");
+  collect_result t
+
+(* ------------------------------------------------------------------ *)
+(* Engine internals: the shared-state surface Compile executes against.
+   Both engines run over the same [t] — same layout, memory, machine,
+   runtime, hooks — so a compiled run perturbs and observes exactly what
+   an interpreted run does.                                            *)
+
+let images t = t.images
+let main_index t = t.main_index
+let proc_index t name = Hashtbl.find_opt t.index_of name
+let proc_index_of_addr t addr = Hashtbl.find_opt t.index_of_addr addr
+let max_instructions t = t.max_instructions
+let stack_pointer t = t.sp
+let set_stack_pointer t sp = t.sp <- sp
+let push_output t item = t.output_rev <- item :: t.output_rev
+let push_activation t name = t.call_stack <- name :: t.call_stack
+
+let pop_activation t =
+  match t.call_stack with
+  | _ :: rest -> t.call_stack <- rest
+  | [] -> ()
+
+let hot t = t.hot
+
+let block_entered t ~proc ~label ~fp ~iregs =
+  if Array.length t.trace > 0 then record_block t proc label;
+  match t.block_probe with
+  | None -> ()
+  | Some probe -> probe ~proc ~label ~frame:(fp + linkage_bytes) ~iregs
+
+let block_epilogue t =
+  check_budget t;
+  if t.sample_interval > 0 then take_samples t;
+  if t.tl_interval > 0 then take_telemetry t
+
+let dispatch_prof t ~proc ~op_addr ~fp ~iregs op =
+  exec_prof t ~proc_name:proc ~op_addr ~fp iregs op
 
 let read_table_cells t ~global ~index ~cells =
   let base = Layout.global_addr t.layout global in

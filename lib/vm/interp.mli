@@ -107,3 +107,95 @@ val set_block_probe :
 val read_table_cells : t -> global:string -> index:int -> cells:int -> int array
 
 val pp_output : Format.formatter -> output_item list -> unit
+
+(** {2 Engine internals}
+
+    The shared-state surface the closure-threaded {!Compile} engine
+    executes against.  Both engines run over the same [t] — one layout,
+    memory image, machine model, runtime and hook set — which is what
+    makes their results bit-comparable.  Not intended for general use. *)
+
+(** Per-procedure execution image: per-block instruction arrays, the
+    laid-out address of every instruction slot, the terminator address,
+    and the activation frame size. *)
+type image = {
+  proc : Pp_ir.Proc.t;
+  code : Pp_ir.Instr.t array array;  (** per block *)
+  addrs : int array array;  (** per block, per instruction index *)
+  term_addr : int array;  (** per block *)
+  frame_bytes : int;  (** linkage area + local arrays *)
+}
+
+(** The images, indexed like [Program.procs]. *)
+val images : t -> image array
+
+(** Index of [main] in {!images}. *)
+val main_index : t -> int
+
+(** Procedure index by name, as {!run} resolves direct calls. *)
+val proc_index : t -> string -> int option
+
+(** Procedure index by code address, as {!run} resolves indirect calls. *)
+val proc_index_of_addr : t -> int -> int option
+
+(** Bytes between a frame pointer and the frame's addressable area (the
+    [Frameaddr] base). *)
+val linkage_bytes : int
+
+(** The run's instruction budget. *)
+val max_instructions : t -> int
+
+val stack_pointer : t -> int
+val set_stack_pointer : t -> int -> unit
+
+(** Append one item to the program output. *)
+val push_output : t -> output_item -> unit
+
+(** Push/pop the sampled call stack on procedure entry/exit. *)
+val push_activation : t -> string -> unit
+
+val pop_activation : t -> unit
+
+(** A single flag covering every per-block hook (trace ring, block probe,
+    stack sampling, telemetry); maintained by the hook setters.  Compiled
+    blocks capture the record once and poll the field — while it is
+    [false], {!block_entered} is a no-op and {!block_epilogue} reduces to
+    the budget check, so both calls can be elided. *)
+type hot = private { mutable hooks : bool }
+
+val hot : t -> hot
+
+(** Block-entry bookkeeping: the trace ring and the block probe, in the
+    interpreter's order.  [fp] is the raw frame pointer (the probe sees
+    [fp + linkage_bytes]). *)
+val block_entered :
+  t -> proc:string -> label:Pp_ir.Block.label -> fp:int -> iregs:int array ->
+  unit
+
+(** Block-end bookkeeping: budget check, stack sampling, telemetry —
+    exactly what the interpreter runs between a block's last instruction
+    and its terminator fetch.  @raise Trap when the budget is exhausted. *)
+val block_epilogue : t -> unit
+
+(** Execute one profiling pseudo-op against the runtime. *)
+val dispatch_prof :
+  t -> proc:string -> op_addr:int -> fp:int -> iregs:int array ->
+  Pp_ir.Instr.prof_op -> unit
+
+(** Snapshot counters and output into a {!result} (what {!run} returns
+    after [main] completes). *)
+val collect_result : t -> result
+
+(** Raise {!Trap} with a formatted message. *)
+val trap : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** Scalar instruction semantics, shared verbatim by both engines.
+    @raise Trap on division/remainder by zero. *)
+val exec_ibinop : Pp_ir.Instr.ibinop -> int -> int -> int
+
+val exec_icmp : Pp_ir.Instr.cmp -> int -> int -> int
+val exec_fcmp : Pp_ir.Instr.cmp -> float -> float -> int
+val exec_fbinop : Pp_ir.Instr.fbinop -> float -> float -> float
+
+(** FP unit op class of an FP arithmetic instruction. *)
+val fp_class : Pp_ir.Instr.fbinop -> Pp_machine.Fp_unit.op_class

@@ -2,7 +2,14 @@ exception Fault of string
 
 type segment = { name : string; base : int; bytes : Bytes.t }
 
-type t = { segments : segment array }
+type t = {
+  segments : segment array;
+  mutable last : segment;
+      (* the most recently accessed segment: accesses cluster (stack
+         frames, a hot table), so the common case skips the scan *)
+}
+
+let no_segment = { name = "<none>"; base = min_int; bytes = Bytes.empty }
 
 let create specs =
   List.iter
@@ -25,13 +32,16 @@ let create specs =
     | [ _ ] | [] -> ()
   in
   check_disjoint sorted;
+  let segments =
+    Array.of_list
+      (List.map
+         (fun (name, base, size) ->
+           { name; base; bytes = Bytes.make size '\000' })
+         sorted)
+  in
   {
-    segments =
-      Array.of_list
-        (List.map
-           (fun (name, base, size) ->
-             { name; base; bytes = Bytes.make size '\000' })
-           sorted);
+    segments;
+    last = (if Array.length segments > 0 then segments.(0) else no_segment);
   }
 
 let find t addr =
@@ -51,25 +61,48 @@ let check_aligned addr =
   if addr land 7 <> 0 then
     raise (Fault (Printf.sprintf "misaligned word access at 0x%x" addr))
 
+(* The segment holding [addr], preferring the cached one (no scan). *)
+let[@inline] locate t addr =
+  let s = t.last in
+  if addr >= s.base && addr - s.base < Bytes.length s.bytes then s
+  else begin
+    let s = find t addr in
+    t.last <- s;
+    s
+  end
+
 let read_int t addr =
   check_aligned addr;
-  let s = find t addr in
+  let s = locate t addr in
   Int64.to_int (Bytes.get_int64_le s.bytes (addr - s.base))
 
 let write_int t addr v =
   check_aligned addr;
-  let s = find t addr in
+  let s = locate t addr in
   Bytes.set_int64_le s.bytes (addr - s.base) (Int64.of_int v)
 
 let read_float t addr =
   check_aligned addr;
-  let s = find t addr in
+  let s = locate t addr in
   Int64.float_of_bits (Bytes.get_int64_le s.bytes (addr - s.base))
 
 let write_float t addr v =
   check_aligned addr;
-  let s = find t addr in
+  let s = locate t addr in
   Bytes.set_int64_le s.bytes (addr - s.base) (Int64.bits_of_float v)
+
+(* Float transfers with the register array passed in, so the value moves
+   bytes->array (or back) inside one function and is never boxed — a
+   float returned or taken across a module boundary would be. *)
+let read_float_into t addr (dst : float array) i =
+  check_aligned addr;
+  let s = locate t addr in
+  dst.(i) <- Int64.float_of_bits (Bytes.get_int64_le s.bytes (addr - s.base))
+
+let write_float_from t addr (src : float array) i =
+  check_aligned addr;
+  let s = locate t addr in
+  Bytes.set_int64_le s.bytes (addr - s.base) (Int64.bits_of_float src.(i))
 
 let valid t addr =
   addr land 7 = 0

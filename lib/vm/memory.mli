@@ -20,6 +20,14 @@ val write_int : t -> int -> int -> unit
 val read_float : t -> int -> float
 val write_float : t -> int -> float -> unit
 
+(** [read_float_into t addr dst i] is [dst.(i) <- read_float t addr] and
+    [write_float_from t addr src i] is [write_float t addr src.(i)],
+    with the value transferred inside one function so it is never boxed
+    (a [float] crossing a module boundary would be). *)
+val read_float_into : t -> int -> float array -> int -> unit
+
+val write_float_from : t -> int -> float array -> int -> unit
+
 (** Is the address mapped and aligned? *)
 val valid : t -> int -> bool
 

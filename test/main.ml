@@ -31,4 +31,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("telemetry", Test_telemetry.suite);
       ("faults", Test_faults.suite);
+      ("compile", Test_compile.suite);
     ]

@@ -245,6 +245,177 @@ let prop_cache_miss_count_matches_reference =
       done;
       Cache.misses c = !ref_misses)
 
+(* {2 Batched block events == per-instruction calls}
+
+   The compiled engine reports a block's machine events either as
+   interleaved slow calls (precise tier), as [block_static] +
+   [block_step] (ordered batch), or as [block_bulk] (fetch/load-only
+   batch).  Drive all three from the same random event stream and
+   require bit-identical counters and clock after every block — internal
+   state divergence (cache, store buffer, FP scoreboard) would surface
+   in a later block's snapshot. *)
+
+type ev =
+  | F of int  (* instruction fetch at address *)
+  | L of int  (* data read *)
+  | S of int  (* data write *)
+  | FI of Fp_unit.op_class * int * int * int  (* issue cls dst s1 s2 *)
+  | FU of int
+  | FD of int
+
+let gen_block rng base =
+  let n = 3 + Random.State.int rng 12 in
+  let evs = ref [] in
+  let pc = ref base in
+  let data () = 4 * Random.State.int rng 2048 in
+  for _ = 1 to n do
+    evs := F !pc :: !evs;
+    pc := !pc + 4;
+    (match Random.State.int rng 8 with
+    | 0 | 1 -> evs := L (data ()) :: !evs
+    | 2 | 3 -> evs := S (data ()) :: !evs
+    | 4 ->
+        let cls =
+          match Random.State.int rng 3 with
+          | 0 -> Fp_unit.Fp_add
+          | 1 -> Fp_unit.Fp_mul
+          | _ -> Fp_unit.Fp_div
+        in
+        evs :=
+          FI
+            ( cls,
+              Random.State.int rng 8,
+              Random.State.int rng 8,
+              Random.State.int rng 8 )
+          :: !evs
+    | 5 -> evs := FU (Random.State.int rng 8) :: !evs
+    | 6 -> evs := FD (Random.State.int rng 8) :: !evs
+    | _ -> ())
+  done;
+  (List.rev !evs, !pc)
+
+let apply_slow m evs =
+  List.iter
+    (function
+      | F a -> Machine.fetch m ~addr:a
+      | L a -> Machine.load m ~addr:a
+      | S a -> Machine.store m ~addr:a
+      | FI (cls, dst, s1, s2) ->
+          Machine.fp_issue m ~cls ~dst ~srcs:[ s1; s2 ]
+      | FU s -> Machine.fp_use m ~src:s
+      | FD d -> Machine.fp_define m ~dst:d)
+    evs
+
+(* Mirror of the compiler's op builder: fuse fetch runs, record one
+   leader per distinct icache line of the block, slot dynamic
+   addresses. *)
+let ops_of_spec config evs =
+  let line_bytes = config.Config.icache.Config.line_bytes in
+  let ops_rev = ref [] in
+  let pend = ref 0 in
+  let leaders_rev = ref [] in
+  let last_line = ref min_int in
+  let dyn_rev = ref [] in
+  let flush () =
+    if !pend > 0 then begin
+      ops_rev :=
+        Machine.Bfetch
+          { count = !pend; leaders = Array.of_list (List.rev !leaders_rev) }
+        :: !ops_rev;
+      pend := 0;
+      leaders_rev := []
+    end
+  in
+  let emit op = flush (); ops_rev := op :: !ops_rev in
+  List.iter
+    (function
+      | F a ->
+          let line = a / line_bytes in
+          if line <> !last_line then leaders_rev := a :: !leaders_rev;
+          last_line := line;
+          incr pend
+      | L a -> dyn_rev := a :: !dyn_rev; emit (Machine.Bload (List.length !dyn_rev - 1))
+      | S a -> dyn_rev := a :: !dyn_rev; emit (Machine.Bstore (List.length !dyn_rev - 1))
+      | FI (cls, dst, s1, s2) -> emit (Machine.Bfp_issue { cls; dst; s1; s2 })
+      | FU s -> emit (Machine.Bfp_use s)
+      | FD d -> emit (Machine.Bfp_define d))
+    evs;
+  flush ();
+  (Array.of_list (List.rev !ops_rev), Array.of_list (List.rev !dyn_rev))
+
+let count p evs = List.length (List.filter p evs)
+
+let apply_batched m evs =
+  let ops, dyn = ops_of_spec (Machine.config m) evs in
+  Machine.block_static m
+    ~insts:(count (function F _ -> true | _ -> false) evs)
+    ~loads:(count (function L _ -> true | _ -> false) evs)
+    ~stores:(count (function S _ -> true | _ -> false) evs)
+    ~fpops:(count (function FI _ -> true | _ -> false) evs);
+  Machine.block_step m ops ~dyn
+
+let bulk_eligible evs =
+  List.for_all (function F _ | L _ -> true | _ -> false) evs
+
+let apply_bulk m evs =
+  let ops, dyn = ops_of_spec (Machine.config m) evs in
+  let leaders =
+    Array.concat
+      (List.filter_map
+         (function Machine.Bfetch { leaders; _ } -> Some leaders | _ -> None)
+         (Array.to_list ops))
+  in
+  Machine.block_bulk m
+    ~fetches:(count (function F _ -> true | _ -> false) evs)
+    ~leaders ~dyn ~nloads:(Array.length dyn)
+
+let snapshot m =
+  let c = Machine.counters m in
+  String.concat " "
+    (List.map
+       (fun e -> Printf.sprintf "%s=%d" (Event.name e) (Counters.total c e))
+       Event.all)
+  ^ Printf.sprintf " now=%d" (Machine.now m)
+
+let prop_batched_equals_slow =
+  QCheck.Test.make ~count:12
+    ~name:"block_static+block_step / block_bulk == per-instruction calls"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed; 11 |] in
+      let slow = Machine.create Config.default in
+      let batch = Machine.create Config.default in
+      let line_bytes = Config.default.Config.icache.Config.line_bytes in
+      Machine.fp_frame slow ~nregs:8;
+      Machine.fp_frame batch ~nregs:8;
+      let base = ref 4096 in
+      let ok = ref true in
+      for _ = 1 to 40 do
+        (* Occasionally jump back so icache lines conflict and re-hit. *)
+        if Random.State.int rng 4 = 0 then
+          base := 4096 + (4 * Random.State.int rng 64);
+        let evs, term_addr = gen_block rng !base in
+        apply_slow slow evs;
+        if bulk_eligible evs && Random.State.bool rng then
+          apply_bulk batch evs
+        else apply_batched batch evs;
+        (* Terminator: slow fetch+branch vs fetch_term (probe elided when
+           the terminator shares the last body fetch's line) +
+           branch_hot. *)
+        let taken = Random.State.bool rng in
+        Machine.fetch slow ~addr:term_addr;
+        Machine.branch slow ~addr:term_addr ~taken;
+        let probe = term_addr / line_bytes <> (term_addr - 4) / line_bytes in
+        Machine.fetch_term batch ~addr:term_addr ~probe;
+        Machine.branch_hot batch ~addr:term_addr ~taken;
+        base := term_addr + 4;
+        if snapshot slow <> snapshot batch then ok := false
+      done;
+      if not !ok then
+        QCheck.Test.fail_reportf "diverged:@.slow  %s@.batch %s"
+          (snapshot slow) (snapshot batch);
+      true)
+
 let suite =
   [
     Alcotest.test_case "direct-mapped cache" `Quick test_cache_direct_mapped;
@@ -265,4 +436,5 @@ let suite =
       test_icache_and_mispredict_accounting;
     Alcotest.test_case "config validation" `Quick test_config_validation;
     QCheck_alcotest.to_alcotest prop_cache_miss_count_matches_reference;
+    QCheck_alcotest.to_alcotest prop_batched_equals_slow;
   ]

@@ -467,6 +467,94 @@ let prop_shard_edge_counts =
               ra rb)
         (Driver.edge_profile s))
 
+(* {2 Engine differential}
+
+   The closure-threaded compiled tier against the reference interpreter,
+   over the same random-program space: every observable — trap message,
+   full counter set, output, cycles and (for path modes) the serialized
+   profile — must be identical.  Half the seeds get a division-by-zero
+   injected after main's work loop, and a third run under a tiny budget,
+   so the property also covers traps that land inside batched blocks. *)
+
+module Engine = Pp_vm.Engine
+
+(* Plant [print(k / (k - k))] right after main's work loop: [k] is
+   main's loop counter, so the quotient traps after real work has
+   touched the machine state.  The marker appears exactly once. *)
+let inject_div_by_zero src =
+  let marker = "  int j;\n" in
+  let rec find i =
+    if i + String.length marker > String.length src then None
+    else if String.sub src i (String.length marker) = marker then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> src
+  | Some i ->
+      String.sub src 0 i
+      ^ "  print(k / (k - k));\n"
+      ^ String.sub src i (String.length src - i)
+
+let observe_engine ~budget ~kind config prog =
+  let outcome run vm =
+    match run () with
+    | r -> ("done", r)
+    | exception Interp.Trap m -> (m, Interp.collect_result vm)
+  in
+  match config with
+  | None ->
+      let e = Engine.create ~kind ~max_instructions:budget prog in
+      let tag, r = outcome (fun () -> Engine.run e) (Engine.vm e) in
+      (tag, r, "")
+  | Some mode ->
+      let s =
+        Driver.prepare ~max_instructions:budget ~engine:kind ~mode prog
+      in
+      let tag, r = outcome (fun () -> Driver.run s) s.Driver.vm in
+      let profile =
+        match mode with
+        | (Instrument.Flow_freq | Instrument.Flow_hw
+          | Instrument.Context_flow)
+          when tag = "done" ->
+            Profile_io.to_string
+              (Profile_io.of_profile
+                 ~program_hash:(Profile_io.program_hash prog)
+                 ~mode:(Instrument.mode_name mode)
+                 (Driver.path_profile s))
+        | _ -> ""
+      in
+      (tag, r, profile)
+
+let prop_engines_agree =
+  QCheck.Test.make
+    ~name:"random programs: compiled tier is byte-identical (incl. traps)"
+    ~count:10
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed; 53 |] in
+      let src = gen_program seed in
+      let src = if seed mod 2 = 0 then inject_div_by_zero src else src in
+      let prog = Pp_minic.Compile.program ~name:"gen" src in
+      let budget =
+        (* A third of the runs exhaust the budget mid-program. *)
+        match seed mod 3 with
+        | 0 -> 2_000 + Random.State.int rng 5_000
+        | _ -> 100_000_000
+      in
+      List.for_all
+        (fun config ->
+          observe_engine ~budget ~kind:Engine.Interpreted config prog
+          = observe_engine ~budget ~kind:Engine.Compiled config prog)
+        (None
+        :: List.map Option.some
+             [
+               Instrument.Edge_freq;
+               Instrument.Flow_freq;
+               Instrument.Flow_hw;
+               Instrument.Context_hw;
+               Instrument.Context_flow;
+             ]))
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_modes_transparent;
@@ -474,4 +562,5 @@ let suite =
     QCheck_alcotest.to_alcotest prop_shard_profiles;
     QCheck_alcotest.to_alcotest prop_shard_ccts;
     QCheck_alcotest.to_alcotest prop_shard_edge_counts;
+    QCheck_alcotest.to_alcotest prop_engines_agree;
   ]
