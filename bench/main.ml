@@ -47,6 +47,9 @@ let targets : (string * string * (unit -> unit)) list =
     ( "engine",
       "interpreted vs compiled engine throughput (writes BENCH_engine.json)",
       Engines.run );
+    ( "predict",
+      "per-path bound certification sweep (writes BENCH_predict.json)",
+      Predict.run );
   ]
 
 let list_targets () =

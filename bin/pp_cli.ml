@@ -35,6 +35,7 @@ module Diag = Pp_ir.Diag
 module Trace = Pp_telemetry.Trace
 module Metrics = Pp_telemetry.Metrics
 module Overhead = Pp_overhead.Overhead
+module Predict_run = Pp_run.Predict_run
 
 let read_file path =
   let ic = open_in_bin path in
@@ -1377,7 +1378,8 @@ let trace_cmd =
      profiler's own phases: instrument, vm.setup, execute (with periodic \
      counter samples), extract.profile."
   in
-  let action file workload budget mode interval out text =
+  let action file workload budget mode interval out text engine =
+    let engine = parse_engine engine in
     require_positive ~flag:"interval" interval;
     require_positive ~flag:"budget" budget;
     match load ~file ~workload with
@@ -1403,7 +1405,7 @@ let trace_cmd =
         in
         let session =
           Driver.prepare ~max_instructions:budget ~telemetry:tr
-            ~telemetry_interval:interval ~mode prog
+            ~telemetry_interval:interval ~engine ~mode prog
         in
         (match Driver.run session with
         | exception Interp.Trap msg ->
@@ -1443,7 +1445,7 @@ let trace_cmd =
   in
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(const action $ file $ workload_opt $ budget $ mode $ interval
-          $ out $ text)
+          $ out $ text $ engine_opt)
 
 (* --- pp overhead --- *)
 
@@ -1458,7 +1460,8 @@ let overhead_cmd =
      executed-probe counts decoded from the profile.  Exits 2 if the \
      per-category attributions do not sum exactly to the measured delta."
   in
-  let action file workload budget modes jobs json_flag out =
+  let action file workload budget modes jobs json_flag out engine =
+    let engine = parse_engine engine in
     require_positive ~flag:"jobs" jobs;
     require_positive ~flag:"budget" budget;
     match load ~file ~workload with
@@ -1477,7 +1480,7 @@ let overhead_cmd =
               (function `Mode m -> Some m | `All -> None)
               modes
         in
-        match Overhead.compute ~budget ~jobs ~modes ~program prog with
+        match Overhead.compute ~budget ~engine ~jobs ~modes ~program prog with
         | exception Interp.Trap msg -> exit_err ("trap: " ^ msg)
         | report -> (
             if json_flag then print_string (Overhead.to_json report)
@@ -1517,7 +1520,123 @@ let overhead_cmd =
   in
   Cmd.v (Cmd.info "overhead" ~doc)
     Term.(const action $ file $ workload_opt $ budget $ modes $ jobs
-          $ json_flag $ out)
+          $ json_flag $ out $ engine_opt)
+
+(* --- pp predict --- *)
+
+let predict_mode_conv =
+  Arg.enum (("all", `All) :: List.map (fun (n, m) -> (n, `Mode m)) mode_assoc)
+
+let predict_cmd =
+  let doc =
+    "Statically predict per-path hardware metrics (cycles, D- and \
+     I-cache misses, stall cycles) by abstract interpretation of the \
+     machine's caches and pipeline, then certify every predicted \
+     interval against the counters measured along the same Ball-Larus \
+     paths.  Every measured path gets a verdict: CONFIRMED (measurement \
+     inside a tight interval), VACUOUS (inside, but the interval is \
+     unbounded or loose) or REFUTED (outside -- a soundness bug, or a \
+     deliberately injected model/machine mismatch).  Exits 2 when \
+     anything is REFUTED or the measurement oracle reports an anomaly."
+  in
+  let action file workload budget modes engine inject json_flag table slack =
+    let engine = parse_engine engine in
+    require_positive ~flag:"budget" budget;
+    require_non_negative_f ~flag:"slack" slack;
+    let inject =
+      Option.map
+        (fun s ->
+          match Predict_run.inject_of_string s with
+          | Some i -> i
+          | None ->
+              exit_invalid
+                (Diag.error (Diag.proc_loc "<cli>")
+                   "--inject must be one of: %s (got %S)"
+                   (String.concat ", "
+                      (List.map Predict_run.inject_name Predict_run.injects))
+                   s))
+        inject
+    in
+    match load ~file ~workload with
+    | Error msg -> exit_err msg
+    | Ok prog ->
+        let modes =
+          if modes = [] || List.mem `All modes then
+            List.map snd mode_assoc
+          else
+            List.filter_map (function `Mode m -> Some m | `All -> None) modes
+        in
+        let outcomes =
+          List.map
+            (fun mode ->
+              match
+                Predict_run.run ~budget ~engine ?inject ~vacuous_slack:slack
+                  ~mode prog
+              with
+              | o -> o
+              | exception Interp.Trap msg -> exit_err ("trap: " ^ msg))
+            modes
+        in
+        if json_flag then
+          Predict_run.render_json Format.std_formatter outcomes
+        else begin
+          List.iter
+            (fun (o : Predict_run.outcome) ->
+              if table then Predict_run.render_table Format.std_formatter o
+              else
+                Printf.printf
+                  "%-13s %-9s paths %4d  windows %7d  confirmed %4d  \
+                   vacuous %4d  refuted %4d  mean-slack %8.2f%s\n"
+                  (Instrument.mode_name o.mode)
+                  (Engine.kind_name o.engine)
+                  (List.length o.rows) o.windows o.confirmed o.vacuous
+                  o.refuted o.mean_slack
+                  (if o.trapped then "  (trapped)" else ""))
+            outcomes
+        end;
+        List.iter
+          (fun o ->
+            List.iter
+              (fun e -> Printf.eprintf "pp predict: %s\n" e)
+              (Predict_run.errors o))
+          outcomes;
+        exit (Predict_run.exit_code outcomes)
+  in
+  let modes =
+    Arg.(value & opt_all predict_mode_conv []
+         & info [ "mode"; "m" ] ~docv:"MODE"
+             ~doc:"Mode to certify: edge-freq, flow-freq, flow-hw, \
+                   context-hw, context-flow or all (repeatable; default: \
+                   all).")
+  in
+  let inject =
+    Arg.(value & opt (some string) None
+         & info [ "inject" ] ~docv:"FAULT"
+             ~doc:"Execute on a deliberately mutated geometry while the \
+                   analysis models the configured one: 'dcache' (halved \
+                   D-cache) or 'icache' (halved I-cache lines).  The run \
+                   must end REFUTED (exit 2) -- this is how CI proves the \
+                   certifier can catch a wrong model.")
+  in
+  let json_flag =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Print all outcomes as one JSON document.")
+  in
+  let table =
+    Arg.(value & flag
+         & info [ "table" ]
+             ~doc:"Print the full predicted-vs-measured per-path table \
+                   for each mode instead of one summary line.")
+  in
+  let slack =
+    Arg.(value & opt float 8.0
+         & info [ "slack" ] ~docv:"S"
+             ~doc:"Vacuousness threshold: a bounded interval wider than S \
+                   per measured window degrades to VACUOUS.")
+  in
+  Cmd.v (Cmd.info "predict" ~doc)
+    Term.(const action $ file $ workload_opt $ budget $ modes $ engine_opt
+          $ inject $ json_flag $ table $ slack)
 
 (* --- pp chaos --- *)
 
@@ -1678,4 +1797,5 @@ let () =
   exit (Cmd.eval (Cmd.group info
                     [ run_cmd; profile_cmd; paths_cmd; cost_cmd; disasm_cmd;
                       check_cmd; prove_cmd; bench_cmd; merge_cmd; trace_cmd;
-                      overhead_cmd; chaos_cmd; workloads_cmd ]))
+                      overhead_cmd; predict_cmd; chaos_cmd;
+                      workloads_cmd ]))

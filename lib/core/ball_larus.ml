@@ -130,6 +130,14 @@ let num_paths t = t.np.(t.cfg.entry)
 let np t v = t.np.(v)
 let backedges t = t.backedges
 
+let is_backedge t (e : Digraph.edge) =
+  e.id < Array.length t.is_backedge && t.is_backedge.(e.id)
+
+let backedge_between t ~src ~dst =
+  List.find_opt
+    (fun (e : Digraph.edge) -> e.src = src && e.dst = dst)
+    t.backedges
+
 let edge_val t (e : Digraph.edge) =
   if e.id >= Array.length t.is_backedge || t.dag_edge_of_cfg.(e.id) < 0 then
     invalid_arg "Ball_larus.edge_val: backedge or foreign edge";

@@ -187,16 +187,16 @@ let probes_of counts = function
 let counters_alist (r : Interp.result) =
   List.map (fun (e, v) -> (Event.name e, v)) r.Interp.counters
 
-let measure_base ?budget prog =
-  let r = Driver.run_baseline ?max_instructions:budget prog in
+let measure_base ?budget ?engine prog =
+  let r = Driver.run_baseline ?max_instructions:budget ?engine prog in
   {
     base_cycles = r.Interp.cycles;
     base_instructions = r.Interp.instructions;
     base_counters = counters_alist r;
   }
 
-let measure_mode ?budget ~base prog mode =
-  let session = Driver.prepare ?max_instructions:budget ~mode prog in
+let measure_mode ?budget ?engine ~base prog mode =
+  let session = Driver.prepare ?max_instructions:budget ?engine ~mode prog in
   let r = Driver.run session in
   let counts = decode_probes session in
   let delta_cycles = r.Interp.cycles - base.base_cycles in
@@ -230,16 +230,19 @@ let measure_mode ?budget ~base prog mode =
     counters = counters_alist r;
   }
 
-let compute ?budget ?(jobs = 1) ?(modes = all_modes) ~program prog =
-  let base = measure_base ?budget prog in
+let compute ?budget ?engine ?(jobs = 1) ?(modes = all_modes) ~program prog =
+  let base = measure_base ?budget ?engine prog in
   let outcomes =
     if jobs <= 1 then
       List.map
         (fun mode ->
-          try Pool.Done (measure_mode ?budget ~base prog mode)
+          try Pool.Done (measure_mode ?budget ?engine ~base prog mode)
           with e -> Pool.Crashed (Printexc.to_string e))
         modes
-    else Pool.map ~jobs (fun mode -> measure_mode ?budget ~base prog mode) modes
+    else
+      Pool.map ~jobs
+        (fun mode -> measure_mode ?budget ?engine ~base prog mode)
+        modes
   in
   let rows, failures =
     List.fold_left2

@@ -67,9 +67,12 @@ val all_modes : Pp_instrument.Instrument.mode list
 val apportion : total:int -> float array -> int array
 
 (** Run the uninstrumented program once under the machine model.
-    [budget] bounds instructions (as [max_instructions]).
+    [budget] bounds instructions (as [max_instructions]); [engine]
+    selects the execution tier (default {!Pp_vm.Engine.default} — both
+    tiers measure byte-identically, so the choice only affects speed).
     @raise Pp_vm.Interp.Trap *)
-val measure_base : ?budget:int -> Pp_ir.Program.t -> base
+val measure_base :
+  ?budget:int -> ?engine:Pp_vm.Engine.kind -> Pp_ir.Program.t -> base
 
 (** Instrument for one mode, run, decode exact probe counts from the
     resulting profile, and apportion the delta against [base].  The row
@@ -77,6 +80,7 @@ val measure_base : ?budget:int -> Pp_ir.Program.t -> base
     @raise Pp_vm.Interp.Trap *)
 val measure_mode :
   ?budget:int ->
+  ?engine:Pp_vm.Engine.kind ->
   base:base ->
   Pp_ir.Program.t ->
   Pp_instrument.Instrument.mode ->
@@ -89,6 +93,7 @@ val measure_mode :
     byte-identical at any [jobs]. *)
 val compute :
   ?budget:int ->
+  ?engine:Pp_vm.Engine.kind ->
   ?jobs:int ->
   ?modes:Pp_instrument.Instrument.mode list ->
   program:string ->

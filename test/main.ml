@@ -32,4 +32,5 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("faults", Test_faults.suite);
       ("compile", Test_compile.suite);
+      ("predict", Test_predict.suite);
     ]

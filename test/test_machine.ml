@@ -416,6 +416,86 @@ let prop_batched_equals_slow =
           (snapshot slow) (snapshot batch);
       true)
 
+(* Satellite checks for pp predict: the batched cache path the compiled
+   engine uses must stay observably identical to per-probe reads at
+   higher associativities, and Config.validate must reject the
+   geometries the predictor would otherwise model nonsensically. *)
+
+let prop_read_many_equals_reads =
+  QCheck.Test.make ~count:60
+    ~name:"read_many == successive reads (associativity >= 4)"
+    QCheck.(pair (int_range 0 10_000) (int_range 4 8))
+    (fun (seed, assoc) ->
+      let rng = Random.State.make [| seed; 23 |] in
+      let geom =
+        { Config.size_bytes = 1024 * assoc; line_bytes = 32;
+          associativity = assoc }
+      in
+      let a = Cache.create geom and b = Cache.create geom in
+      let span = 65536 in
+      let ok = ref true in
+      for _ = 1 to 25 do
+        let n = 1 + Random.State.int rng 16 in
+        let addrs = Array.init 16 (fun _ -> Random.State.int rng span) in
+        let slow = ref 0 in
+        for i = 0 to n - 1 do
+          if not (Cache.read a addrs.(i)) then incr slow
+        done;
+        let batched = Cache.read_many b addrs n in
+        if batched <> !slow then ok := false;
+        for l = 0 to (span / 32) - 1 do
+          if Cache.probe a (l * 32) <> Cache.probe b (l * 32) then ok := false
+        done;
+        if Cache.accesses a <> Cache.accesses b
+           || Cache.misses a <> Cache.misses b
+        then ok := false
+      done;
+      if not !ok then
+        QCheck.Test.fail_reportf "read_many diverged at assoc %d" assoc;
+      true)
+
+let contains ~needle msg =
+  let n = String.length needle and m = String.length msg in
+  let rec go i = i + n <= m && (String.sub msg i n = needle || go (i + 1)) in
+  go 0
+
+let expect_invalid ~needle f =
+  match f () with
+  | exception Invalid_argument msg ->
+      if not (contains ~needle msg) then
+        Alcotest.failf "diagnostic %S does not mention %S" msg needle
+  | (_ : Config.t) ->
+      Alcotest.failf "expected Invalid_argument mentioning %S" needle
+
+let test_config_validation_edges () =
+  let dgeom g = { Config.default with Config.dcache = g } in
+  (* Non-power-of-two line size, with the cache named in the message. *)
+  expect_invalid ~needle:"icache" (fun () ->
+      Config.validate
+        { Config.default with
+          Config.icache =
+            { Config.size_bytes = 16384; line_bytes = 24; associativity = 2 }
+        });
+  expect_invalid ~needle:"line size" (fun () ->
+      Config.validate
+        (dgeom { Config.size_bytes = 16384; line_bytes = 48; associativity = 1 }));
+  (* Associativity exceeding the line count: line * assoc no longer
+     divides size, i.e. there is not even one whole set. *)
+  expect_invalid ~needle:"dcache" (fun () ->
+      Config.validate
+        (dgeom
+           { Config.size_bytes = 16384; line_bytes = 32; associativity = 1024 }));
+  expect_invalid ~needle:"associativity" (fun () ->
+      Config.validate
+        (dgeom { Config.size_bytes = 16384; line_bytes = 32; associativity = 0 }));
+  (* Zero penalties and latencies, each named. *)
+  expect_invalid ~needle:"store_drain_cycles" (fun () ->
+      Config.validate { Config.default with Config.store_drain_cycles = 0 });
+  expect_invalid ~needle:"fp_div_latency" (fun () ->
+      Config.validate { Config.default with Config.fp_div_latency = 0 });
+  expect_invalid ~needle:"icache_miss_penalty" (fun () ->
+      Config.validate { Config.default with Config.icache_miss_penalty = 0 })
+
 let suite =
   [
     Alcotest.test_case "direct-mapped cache" `Quick test_cache_direct_mapped;
@@ -435,6 +515,9 @@ let suite =
     Alcotest.test_case "icache and mispredict accounting" `Quick
       test_icache_and_mispredict_accounting;
     Alcotest.test_case "config validation" `Quick test_config_validation;
+    Alcotest.test_case "config validation: predictor edge cases" `Quick
+      test_config_validation_edges;
     QCheck_alcotest.to_alcotest prop_cache_miss_count_matches_reference;
     QCheck_alcotest.to_alcotest prop_batched_equals_slow;
+    QCheck_alcotest.to_alcotest prop_read_many_equals_reads;
   ]
