@@ -50,6 +50,9 @@ let targets : (string * string * (unit -> unit)) list =
     ( "predict",
       "per-path bound certification sweep (writes BENCH_predict.json)",
       Predict.run );
+    ( "serve",
+      "sampled accuracy vs overhead frontier (writes BENCH_serve.json)",
+      Serve.run );
   ]
 
 let list_targets () =

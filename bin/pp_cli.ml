@@ -430,16 +430,79 @@ let cct_codec =
         });
   }
 
+(* --- sampled instrumentation flags (pp profile, pp serve --drive) --- *)
+
+let duty_opt =
+  Arg.(value & opt (some float) None
+       & info [ "duty" ] ~docv:"FRACTION"
+           ~doc:"Enable sampled instrumentation: gate path commits so \
+                 roughly FRACTION of each procedure's decision bursts \
+                 record (0.0-1.0).  The saved shard carries per-procedure \
+                 coverage windows so consumers can rescale; 1.0 gates \
+                 nothing — every frequency matches an exhaustive run, and \
+                 the shard is byte-identical to an unsampled session of \
+                 the same hash-table instrumentation (sampling forces the \
+                 zero array threshold, so small procedures' inlined \
+                 array-commit cost metrics differ from the unsampled \
+                 default).")
+
+let sampling_seed_opt =
+  Arg.(value & opt int 0
+       & info [ "sampling-seed" ] ~docv:"SEED"
+           ~doc:"Seed of the deterministic sampling schedule (with \
+                 --duty).  Same seed, duty and burst replay the same \
+                 gating decisions on either engine at any --jobs.")
+
+let burst_opt =
+  Arg.(value & opt int Pp_vm.Sampling.default_burst
+       & info [ "burst" ] ~docv:"N"
+           ~doc:"Sampling burst length: gating decisions hold for runs of \
+                 N consecutive path commits per procedure (with --duty).")
+
+(* The static analyzer's certified feasible-path counts, as saved-shard
+   annotations. *)
+let feasible_of_session (session : Driver.session) =
+  List.filter_map
+    (fun (info : Instrument.proc_info) ->
+      Option.map
+        (fun p -> (info.Instrument.proc, Ball_larus.num_feasible p))
+        info.Instrument.pruned)
+    session.Driver.manifest.Instrument.infos
+
+(* Sampling gates path commits, so it needs a mode that has some: the
+   same set --profile-out accepts. *)
+let make_sampling ~mode ~burst ~seed duty =
+  Option.map
+    (fun d ->
+      if d < 0.0 || d > 1.0 then
+        exit_invalid
+          (Diag.error (Diag.proc_loc "<cli>")
+             "--duty must be within [0, 1] (got %g)" d);
+      require_positive ~flag:"burst" burst;
+      (match mode with
+      | Instrument.Flow_freq | Instrument.Flow_hw | Instrument.Context_flow
+        ->
+          ()
+      | Instrument.Edge_freq | Instrument.Context_hw ->
+          exit_invalid
+            (Diag.error (Diag.proc_loc "<cli>")
+               "--duty needs a path-profiling mode (flow-freq, flow-hw or \
+                context-flow); %s has no path commits to gate"
+               (Instrument.mode_name mode)));
+      Pp_vm.Sampling.create ~burst ~duty:d ~seed ())
+    duty
+
 let profile_cmd =
   let doc =
     "Instrument, execute on the simulated UltraSPARC, and report the \
      profile."
   in
   let action file workload budget mode pic0 pic1 top cct_out dot_out
-      profile_out engine telemetry =
+      profile_out duty sampling_seed burst engine telemetry =
     let engine = parse_engine engine in
     require_positive ~flag:"budget" budget;
     require_positive ~flag:"top" top;
+    let sampling = make_sampling ~mode ~burst ~seed:sampling_seed duty in
     match load ~file ~workload with
     | Error msg -> exit_err msg
     | Ok prog -> (
@@ -448,7 +511,8 @@ let profile_cmd =
            footprints and annotates saved shards. *)
         let session =
           Driver.prepare ~pruner:Pp_analysis.Feasibility.pruner
-            ~max_instructions:budget ~pics:(pic0, pic1) ~engine ~mode prog
+            ~max_instructions:budget ~pics:(pic0, pic1) ~engine ?sampling
+            ~mode prog
         in
         match Driver.run session with
         | exception Interp.Trap msg -> exit_err ("trap: " ^ msg)
@@ -458,22 +522,29 @@ let profile_cmd =
               r.Interp.instructions r.Interp.cycles
               (Instrument.mode_name mode);
             Option.iter
+              (fun s ->
+                let windows = Pp_vm.Sampling.coverage s in
+                let sampled, total =
+                  List.fold_left
+                    (fun (sa, ta) (_, (sw, tw)) -> (sa + sw, ta + tw))
+                    (0, 0) windows
+                in
+                Printf.printf
+                  "sampling: duty=%g burst=%d seed=%d — recorded %d of %d \
+                   path commits over %d procedures\n"
+                  (Option.value ~default:1.0 duty)
+                  (Pp_vm.Sampling.burst s) (Pp_vm.Sampling.seed s) sampled
+                  total (List.length windows))
+              sampling;
+            Option.iter
               (fun path ->
                 match mode with
                 | Instrument.Flow_freq | Instrument.Flow_hw
                 | Instrument.Context_flow ->
-                    let feasible =
-                      List.filter_map
-                        (fun (info : Instrument.proc_info) ->
-                          Option.map
-                            (fun p ->
-                              ( info.Instrument.proc,
-                                Ball_larus.num_feasible p ))
-                            info.Instrument.pruned)
-                        session.Driver.manifest.Instrument.infos
-                    in
+                    let feasible = feasible_of_session session in
                     let saved =
                       Profile_io.of_profile ~feasible
+                        ~coverage:(Driver.coverage session)
                         ~program_hash:(Profile_io.program_hash prog)
                         ~mode:(Instrument.mode_name mode)
                         (Driver.path_profile session)
@@ -570,7 +641,8 @@ let profile_cmd =
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(
       const action $ file $ workload_opt $ budget $ mode $ pic0 $ pic1 $ top
-      $ cct_out $ dot_out $ profile_out $ engine_opt $ telemetry_opt)
+      $ cct_out $ dot_out $ profile_out $ duty_opt $ sampling_seed_opt
+      $ burst_opt $ engine_opt $ telemetry_opt)
 
 (* --- pp paths --- *)
 
@@ -1286,7 +1358,7 @@ let merge_cmd =
     "Sum profile shards saved by 'pp profile --profile-out' (or CCTs saved \
      by --cct-out, with --cct) into one profile."
   in
-  let action out cct_mode inputs =
+  let action out cct_mode stats telemetry inputs =
     if List.length inputs < 1 then exit_err "nothing to merge";
     if cct_mode then begin
       let load path =
@@ -1330,26 +1402,65 @@ let merge_cmd =
         out
     end
     else begin
+      let t_start = Unix.gettimeofday () in
       let load path =
         try Profile_io.of_file path with
         | Profile_io.Parse_error (line, msg) ->
             exit_err (Printf.sprintf "%s:%d: %s" path line msg)
         | Sys_error msg -> exit_err msg
       in
-      match Profile_io.merge_all (List.map load inputs) with
-      | Error d -> exit_invalid d
-      | Ok merged ->
-          Profile_io.to_file out merged;
-          let freq, m0, m1 = Profile_io.totals merged in
-          Printf.printf
-            "merged %d shards into %s: %d procedures, freq=%d %s=%d %s=%d\n"
-            (List.length inputs) out
-            (List.length merged.Profile_io.procs)
-            freq
-            (Event.name merged.Profile_io.pic0)
-            m0
-            (Event.name merged.Profile_io.pic1)
-            m1
+      let records (s : Profile_io.saved) =
+        List.fold_left
+          (fun acc (_, _, paths) -> acc + 1 + List.length paths)
+          0 s.Profile_io.procs
+        + List.length s.Profile_io.feasible
+        + List.length s.Profile_io.coverage
+      in
+      (* Shard-at-a-time fold (instead of merge_all over a pre-loaded
+         list) so --stats can time each shard's read and merge
+         separately; the result is identical by associativity. *)
+      let merged =
+        List.fold_left
+          (fun acc path ->
+            let t0 = Unix.gettimeofday () in
+            let s = load path in
+            let t1 = Unix.gettimeofday () in
+            let next =
+              match acc with
+              | None -> Ok s
+              | Some acc -> Profile_io.merge acc s
+            in
+            let t2 = Unix.gettimeofday () in
+            let n = records s in
+            let m = Metrics.default in
+            Metrics.incr m "merge.shards" 1;
+            Metrics.incr m "merge.records" n;
+            Metrics.observe m "merge.us"
+              (int_of_float ((t2 -. t1) *. 1e6));
+            if stats then
+              Printf.eprintf
+                "  shard %s: %d records, read %.2fms, merge %.2fms\n" path n
+                ((t1 -. t0) *. 1e3)
+                ((t2 -. t1) *. 1e3);
+            match next with Error d -> exit_invalid d | Ok m -> Some m)
+          None inputs
+      in
+      let merged = Option.get merged in
+      Profile_io.to_file out merged;
+      let freq, m0, m1 = Profile_io.totals merged in
+      Printf.printf
+        "merged %d shards into %s: %d procedures, freq=%d %s=%d %s=%d\n"
+        (List.length inputs) out
+        (List.length merged.Profile_io.procs)
+        freq
+        (Event.name merged.Profile_io.pic0)
+        m0
+        (Event.name merged.Profile_io.pic1)
+        m1;
+      if stats then
+        Printf.eprintf "merge: %d shards in %.2fms\n" (List.length inputs)
+          ((Unix.gettimeofday () -. t_start) *. 1e3);
+      write_telemetry telemetry
     end
   in
   let out =
@@ -1362,12 +1473,262 @@ let merge_cmd =
              ~doc:"Merge calling context trees (files from --cct-out) \
                    instead of path profiles.")
   in
+  let stats =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"Report per-shard record counts and read/merge timings \
+                   on stderr (path-profile mode), and bump the merge.* \
+                   metrics for --telemetry.")
+  in
   let inputs =
     Arg.(non_empty & pos_all string []
          & info [] ~docv:"SHARD" ~doc:"Profile shards to merge.")
   in
   Cmd.v (Cmd.info "merge" ~doc)
-    Term.(const action $ out $ cct_mode $ inputs)
+    Term.(const action $ out $ cct_mode $ stats $ telemetry_opt $ inputs)
+
+(* --- pp serve --- *)
+
+module Serve = Pp_run.Serve
+
+let serve_cmd =
+  let doc =
+    "Always-on aggregation service: a Unix-domain socket daemon that \
+     merges streamed binary profile shards live, under a bounded memory \
+     budget, with JSON observability snapshots (SIGUSR1, or \
+     --snapshot-every)."
+  in
+  let action socket expect out max_records spill_dir snapshot_every
+      snapshot_out send corrupt_after drive file workload budget mode duty
+      sampling_seed burst engine telemetry =
+    let engine = parse_engine engine in
+    Option.iter (fun n -> require_positive ~flag:"max-records" n) max_records;
+    Option.iter (fun k -> require_positive ~flag:"corrupt-after" k)
+      corrupt_after;
+    if snapshot_every < 0 then
+      exit_invalid
+        (Diag.error (Diag.proc_loc "<cli>")
+           "--snapshot-every must be non-negative (got %d)" snapshot_every);
+    let require_out () =
+      match out with
+      | Some path -> path
+      | None ->
+          exit_invalid
+            (Diag.error (Diag.proc_loc "<cli>")
+               "-o FILE is required to receive the merged profile")
+    in
+    (* SIGUSR1 asks for a snapshot; SIGTERM asks for an orderly shutdown
+       (streams still open then count as torn, and the short count makes
+       the verdict degraded).  The handlers only set flags; the serve
+       loop polls them between select rounds. *)
+    let snapshot_flag = ref false in
+    let stop_flag = ref false in
+    let install_signals () =
+      Sys.set_signal Sys.sigusr1
+        (Sys.Signal_handle (fun _ -> snapshot_flag := true));
+      Sys.set_signal Sys.sigterm
+        (Sys.Signal_handle (fun _ -> stop_flag := true))
+    in
+    let poll_snapshot () =
+      let r = !snapshot_flag in
+      if r then snapshot_flag := false;
+      r
+    in
+    let emit json =
+      match snapshot_out with
+      | Some path ->
+          let oc =
+            open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+          in
+          output_string oc json;
+          output_char oc '\n';
+          close_out oc
+      | None -> prerr_endline json
+    in
+    let finish out_path (v : Serve.verdict) =
+      Option.iter (Profile_io.to_file out_path) v.Serve.merged;
+      Option.iter
+        (fun d -> Printf.eprintf "pp serve: merge conflict: %s\n"
+            (Diag.to_string d))
+        v.Serve.conflict;
+      Printf.printf
+        "serve: %d/%d streams (%d accepted, %d salvaged, %d rejected), %d \
+         bytes in, peak %d resident records"
+        (v.Serve.accepted + v.Serve.salvaged)
+        v.Serve.expected v.Serve.accepted v.Serve.salvaged v.Serve.rejected
+        v.Serve.bytes v.Serve.peak_records;
+      if v.Serve.spilled > 0 then
+        Printf.printf ", %d spill files" v.Serve.spilled;
+      if v.Serve.evicted_records > 0 then
+        Printf.printf ", %d records evicted" v.Serve.evicted_records;
+      print_newline ();
+      (match v.Serve.merged with
+      | Some m ->
+          let freq, _, _ = Profile_io.totals m in
+          Printf.printf "wrote merged profile to %s: %d procedures, freq=%d\n"
+            out_path
+            (List.length m.Profile_io.procs)
+            freq
+      | None -> Printf.eprintf "pp serve: no stream contributed records\n");
+      write_telemetry telemetry;
+      if Serve.degraded v then exit exit_degraded
+    in
+    match (send, drive) with
+    | Some _, Some _ ->
+        exit_invalid
+          (Diag.error (Diag.proc_loc "<cli>")
+             "--send and --drive are mutually exclusive")
+    | Some shard, None -> (
+        (* Client mode: stream one saved shard into a running daemon. *)
+        match Serve.send_file ?corrupt_after ~socket shard with
+        | Ok () -> ()
+        | Error msg -> exit_err msg)
+    | None, Some k ->
+        (* Drive mode: the self-contained e2e — fork K client runs and
+           aggregate them concurrently in this process. *)
+        require_positive ~flag:"drive" k;
+        require_positive ~flag:"budget" budget;
+        let out_path = require_out () in
+        (match mode with
+        | Instrument.Flow_freq | Instrument.Flow_hw | Instrument.Context_flow
+          ->
+            ()
+        | Instrument.Edge_freq | Instrument.Context_hw ->
+            exit_invalid
+              (Diag.error (Diag.proc_loc "<cli>")
+                 "--drive needs a path-profiling mode (flow-freq, flow-hw \
+                  or context-flow)"));
+        let prog =
+          match load ~file ~workload with
+          | Error msg -> exit_err msg
+          | Ok prog -> prog
+        in
+        let client i () =
+          (* Each client gets its own sampling seed, so the drive run
+             exercises genuinely different gating schedules. *)
+          let sampling =
+            make_sampling ~mode ~burst ~seed:(sampling_seed + i) duty
+          in
+          let session =
+            Driver.prepare ~pruner:Pp_analysis.Feasibility.pruner
+              ~max_instructions:budget ~engine ?sampling ~mode prog
+          in
+          ignore (Driver.run session);
+          Profile_io.of_profile
+            ~feasible:(feasible_of_session session)
+            ~coverage:(Driver.coverage session)
+            ~program_hash:(Profile_io.program_hash prog)
+            ~mode:(Instrument.mode_name mode)
+            (Driver.path_profile session)
+        in
+        install_signals ();
+        let verdict, failures =
+          Serve.drive ?max_records ?spill_dir ~snapshot_every ~snapshot:emit
+            ~snapshot_requested:poll_snapshot
+            ~stop:(fun () -> !stop_flag)
+            ~socket
+            (List.init k client)
+            ()
+        in
+        if failures > 0 then
+          Printf.eprintf "pp serve: %d client process(es) failed\n" failures;
+        finish out_path verdict
+    | None, None ->
+        (* Aggregator mode. *)
+        let expect =
+          match expect with
+          | Some n ->
+              require_positive ~flag:"expect" n;
+              n
+          | None ->
+              exit_invalid
+                (Diag.error (Diag.proc_loc "<cli>")
+                   "--expect N is required (how many client streams to \
+                    wait for), or use --send / --drive")
+        in
+        let out_path = require_out () in
+        install_signals ();
+        let verdict =
+          Serve.serve ?max_records ?spill_dir ~snapshot_every ~snapshot:emit
+            ~snapshot_requested:poll_snapshot
+            ~stop:(fun () -> !stop_flag)
+            ~socket ~expect ()
+        in
+        finish out_path verdict
+  in
+  let socket =
+    Arg.(required & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Unix-domain socket the daemon listens on (and clients \
+                   connect to).")
+  in
+  let expect =
+    Arg.(value & opt (some int) None
+         & info [ "expect" ] ~docv:"N"
+             ~doc:"Aggregator mode: finish after N client streams have \
+                   resolved.")
+  in
+  let out_opt =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Write the merged profile shard to FILE at shutdown.")
+  in
+  let max_records =
+    Arg.(value & opt (some int) None
+         & info [ "max-records" ] ~docv:"N"
+             ~doc:"Bound the resident merge table to N path records; \
+                   over budget, spill to --spill-dir or evict \
+                   coldest-first (degraded, exit 3).")
+  in
+  let spill_dir =
+    Arg.(value & opt (some string) None
+         & info [ "spill-dir" ] ~docv:"DIR"
+             ~doc:"Directory for over-budget spill shards, consolidated \
+                   at shutdown (with --max-records).")
+  in
+  let snapshot_every =
+    Arg.(value & opt int 0
+         & info [ "snapshot-every" ] ~docv:"K"
+             ~doc:"Emit a JSON observability snapshot every K resolved \
+                   streams (0 = only at shutdown and on SIGUSR1).")
+  in
+  let snapshot_out =
+    Arg.(value & opt (some string) None
+         & info [ "snapshot-out" ] ~docv:"FILE"
+             ~doc:"Append JSON snapshots to FILE instead of stderr.")
+  in
+  let send =
+    Arg.(value & opt (some string) None
+         & info [ "send" ] ~docv:"SHARD"
+             ~doc:"Client mode: stream the given profile shard (a \
+                   --profile-out file) into the socket and exit.")
+  in
+  let corrupt_after =
+    Arg.(value & opt (some int) None
+         & info [ "corrupt-after" ] ~docv:"K"
+             ~doc:"With --send: transmit only the first K frames intact, \
+                   then garbage — fault injection for the daemon's \
+                   salvage path.")
+  in
+  let drive =
+    Arg.(value & opt (some int) None
+         & info [ "drive" ] ~docv:"K"
+             ~doc:"Self-contained end-to-end: fork K client profiling \
+                   runs of FILE or --workload and aggregate their streams \
+                   live.")
+  in
+  let mode =
+    Arg.(value & opt mode_conv Instrument.Flow_hw
+         & info [ "mode"; "m" ] ~docv:"MODE"
+             ~doc:"Instrumentation mode for --drive clients (flow-freq, \
+                   flow-hw or context-flow).")
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const action $ socket $ expect $ out_opt $ max_records $ spill_dir
+      $ snapshot_every $ snapshot_out $ send $ corrupt_after $ drive $ file
+      $ workload_opt $ budget $ mode $ duty_opt $ sampling_seed_opt
+      $ burst_opt $ engine_opt $ telemetry_opt)
 
 (* --- pp trace --- *)
 
@@ -1796,6 +2157,6 @@ let () =
   let info = Cmd.info "pp" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
                     [ run_cmd; profile_cmd; paths_cmd; cost_cmd; disasm_cmd;
-                      check_cmd; prove_cmd; bench_cmd; merge_cmd; trace_cmd;
-                      overhead_cmd; predict_cmd; chaos_cmd;
+                      check_cmd; prove_cmd; bench_cmd; merge_cmd; serve_cmd;
+                      trace_cmd; overhead_cmd; predict_cmd; chaos_cmd;
                       workloads_cmd ]))

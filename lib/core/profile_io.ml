@@ -10,6 +10,12 @@ type saved = {
   feasible : (string * int) list;
       (* per procedure: statically feasible path count, when the run was
          instrumented under a pruned numbering *)
+  coverage : (string * (int * int)) list;
+      (* per procedure: (sampled, total) path commits — the scaling
+         certificate of a sampled run.  Exhaustive procedures (sampled =
+         total) are dropped by [canonical], so unsampled shards carry no
+         coverage records and a duty-1.0 sampled shard serializes
+         byte-identically to an exhaustive one. *)
 }
 
 let program_hash prog = Digest.to_hex (Digest.string (Marshal.to_string prog []))
@@ -23,9 +29,13 @@ let canonical s =
       List.map (fun (p, n, paths) -> (p, n, sort_paths paths)) s.procs
       |> List.sort (fun (a, _, _) (b, _, _) -> compare a b);
     feasible = List.sort compare s.feasible;
+    coverage =
+      List.filter (fun (_, (sampled, total)) -> sampled <> total) s.coverage
+      |> List.sort compare;
   }
 
-let of_profile ?(feasible = []) ~program_hash ~mode (p : Profile.t) =
+let of_profile ?(feasible = []) ?(coverage = []) ~program_hash ~mode
+    (p : Profile.t) =
   canonical
     {
       program_hash;
@@ -40,6 +50,7 @@ let of_profile ?(feasible = []) ~program_hash ~mode (p : Profile.t) =
               pp.Profile.paths ))
           p.Profile.procs;
       feasible;
+      coverage;
     }
 
 let totals s =
@@ -132,9 +143,42 @@ let merge a b =
           (fun (name, _) -> not (List.mem_assoc name a.feasible))
           b.feasible
     in
+    (* Coverage windows sum pairwise.  A shard without a coverage entry
+       for a procedure ran it exhaustively: its window defaults to
+       (f, f) where f is the shard's recorded commit count (= frequency
+       sum), so sampled and exhaustive shards compose exactly.  Procs
+       covered by neither shard would default to a trivial window that
+       [canonical] drops, so only procs named by at least one entry need
+       merging. *)
+    let freq_sum s name =
+      match List.find_opt (fun (n, _, _) -> n = name) s.procs with
+      | Some (_, _, paths) ->
+          List.fold_left
+            (fun acc (_, (m : Profile.path_metrics)) -> acc + m.Profile.freq)
+            0 paths
+      | None -> 0
+    in
+    let window s name =
+      match List.assoc_opt name s.coverage with
+      | Some w -> w
+      | None ->
+          let f = freq_sum s name in
+          (f, f)
+    in
+    let covered =
+      List.sort_uniq compare
+        (List.map fst a.coverage @ List.map fst b.coverage)
+    in
+    let coverage =
+      List.map
+        (fun name ->
+          let sa, ta = window a name and sb, tb = window b name in
+          (name, (sa + sb, ta + tb)))
+        covered
+    in
     match !conflict with
     | Some d -> Error d
-    | None -> Ok (canonical { a with procs; feasible })
+    | None -> Ok (canonical { a with procs; feasible; coverage })
   end
 
 let merge_all = function
@@ -153,13 +197,15 @@ let merge_all = function
 
    profile 2 <hash> <mode> <pic0> <pic1> <nrecords> <crc>
    feasible <name-escaped> <num-feasible-paths> <crc>
+   coverage <name-escaped> <sampled-commits> <total-commits> <crc>
    proc <name-escaped> <num-potential-paths> <crc>
    path <sum> <freq> <m0> <m1> <crc>
 
    Version 1 (still read): the same records without CRC tokens or the
-   header count.  A proc record opens a section; its path records follow.
-   The optional feasible records sit between the header and the first
-   proc. *)
+   header count (and never a coverage record — sampled runs postdate the
+   format).  A proc record opens a section; its path records follow.
+   The optional feasible/coverage records sit between the header and the
+   first proc. *)
 
 let body_lines s =
   let buf = ref [] in
@@ -168,6 +214,12 @@ let body_lines s =
     (fun (name, k) ->
       add (Printf.sprintf "feasible %s %d" (Cct_io.escape name) k))
     s.feasible;
+  List.iter
+    (fun (name, (sampled, total)) ->
+      add
+        (Printf.sprintf "coverage %s %d %d" (Cct_io.escape name) sampled
+           total))
+    s.coverage;
   List.iter
     (fun (name, npaths, paths) ->
       add (Printf.sprintf "proc %s %d" (Cct_io.escape name) npaths);
@@ -209,6 +261,7 @@ type pstate = {
   mutable procs : (string * int * (int * Profile.path_metrics) list ref) list;
       (* reversed *)
   mutable feasible : (string * int) list;  (* reversed *)
+  mutable coverage : (string * (int * int)) list;  (* reversed *)
 }
 
 let dispatch_record lineno st = function
@@ -218,6 +271,13 @@ let dispatch_record lineno st = function
         with Failure _ -> fail lineno "bad feasible count %S" k
       in
       st.feasible <- (Cct_io.unescape name, k) :: st.feasible
+  | [ "coverage"; name; sampled; total ] ->
+      let num s =
+        try int_of_string s
+        with Failure _ -> fail lineno "bad coverage count %S" s
+      in
+      st.coverage <-
+        (Cct_io.unescape name, (num sampled, num total)) :: st.coverage
   | [ "proc"; name; npaths ] ->
       let npaths =
         try int_of_string npaths
@@ -250,6 +310,7 @@ let finish_state ~header st =
           (fun (name, npaths, paths) -> (name, npaths, List.rev !paths))
           st.procs;
       feasible = List.rev st.feasible;
+      coverage = List.rev st.coverage;
     }
 
 let parse_event lineno s =
@@ -261,7 +322,7 @@ let parse_event lineno s =
 
 let of_string_v1 lines =
   let header = ref None in
-  let st = { procs = []; feasible = [] } in
+  let st = { procs = []; feasible = []; coverage = [] } in
   List.iteri
     (fun i line ->
       let lineno = i + 1 in
@@ -317,7 +378,7 @@ let scan_v2 text =
             with
             | exception Parse_error (ln, msg) -> Error (ln, msg)
             | header, total ->
-                let st = { procs = []; feasible = [] } in
+                let st = { procs = []; feasible = []; coverage = [] } in
                 let recovered = ref 0 in
                 let bad = ref None in
                 let i = ref 1 in

@@ -18,6 +18,7 @@
     {v
     profile 2 <program-hash> <mode> <pic0> <pic1> <nrecords> <crc>
     feasible <name-escaped> <num-feasible-paths> <crc>
+    coverage <name-escaped> <sampled-commits> <total-commits> <crc>
     proc <name-escaped> <num-potential-paths> <crc>
     path <sum> <freq> <m0> <m1> <crc>
     v}
@@ -52,6 +53,16 @@ type saved = {
       (** procedure, potential-path count, executed paths by path sum *)
   feasible : (string * int) list;
       (** statically feasible path count per pruned procedure *)
+  coverage : (string * (int * int)) list;
+      (** per-procedure [(sampled, total)] path-commit windows — the
+          scaling certificate of a sampled run
+          ([Pp_vm.Sampling.coverage]).  Consumers scale the procedure's
+          sampled frequencies by [total/sampled].  {!canonical} drops
+          exhaustive windows ([sampled = total]), so unsampled shards
+          carry no coverage records and a duty-1.0 sampled shard is
+          byte-identical to an exhaustive one; {!merge} sums windows,
+          defaulting a shard's missing window to its recorded commit
+          count (exhaustive), so sampled and unsampled shards compose. *)
 }
 
 (** Digest of a program's structure; shards of the same binary agree. *)
@@ -59,9 +70,11 @@ val program_hash : Pp_ir.Program.t -> string
 
 (** Strip the numbering from an in-memory profile (path sums alone suffice
     to merge; decoding needs the program anyway).  [feasible] attaches the
-    static analyzer's per-procedure feasible-path counts. *)
+    static analyzer's per-procedure feasible-path counts; [coverage]
+    attaches a sampled run's per-procedure commit windows. *)
 val of_profile :
   ?feasible:(string * int) list ->
+  ?coverage:(string * (int * int)) list ->
   program_hash:string ->
   mode:string ->
   Profile.t ->

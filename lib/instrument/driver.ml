@@ -17,13 +17,26 @@ type session = {
   vm : Interp.t;
   engine : Engine.t;
   trace : Trace.t;
+  sampling : Pp_vm.Sampling.t option;
 }
 
 let default_pics = (Event.Dcache_misses, Event.Instructions)
 
+(* Sampled sessions force every path table through the runtime-dispatched
+   commits (hash / CCT): the inline array-table commit sequences are
+   plain loads and stores the controller cannot patch out. *)
+let sampled_options options =
+  let base = Option.value ~default:Instrument.default_options options in
+  { base with Instrument.array_threshold = 0 }
+
 let prepare ?options ?pruner ?config ?max_instructions
     ?(pics = default_pics) ?(telemetry = Trace.null) ?telemetry_interval
-    ?engine ~mode prog =
+    ?engine ?sampling ~mode prog =
+  let options =
+    match sampling with
+    | None -> options
+    | Some _ -> Some (sampled_options options)
+  in
   let instrumented, manifest =
     Trace.with_span telemetry "instrument" (fun () ->
         Instrument.run ?options ?pruner ~mode prog)
@@ -66,6 +79,7 @@ let prepare ?options ?pruner ?config ?max_instructions
   | Some interval when Trace.enabled telemetry ->
       Interp.set_telemetry vm ~trace:telemetry ~interval
   | _ -> ());
+  Option.iter (Interp.set_sampling vm) sampling;
   {
     original = prog;
     instrumented;
@@ -73,6 +87,7 @@ let prepare ?options ?pruner ?config ?max_instructions
     vm;
     engine = Engine.of_vm ?kind:engine vm;
     trace = telemetry;
+    sampling;
   }
 
 let run session =
@@ -87,6 +102,11 @@ let run_baseline ?config ?max_instructions ?(pics = default_pics) ?engine
   Engine.run eng
 
 let cct session = Runtime.cct (Interp.runtime session.vm)
+
+let coverage session =
+  match session.sampling with
+  | None -> []
+  | Some s -> Pp_vm.Sampling.coverage s
 
 let path_profile session =
   Trace.with_span session.trace "extract.profile" @@ fun () ->

@@ -19,6 +19,9 @@ type session = {
   trace : Pp_telemetry.Trace.t;
       (** the session's telemetry sink; {!Pp_telemetry.Trace.null} unless
           [prepare] was given one *)
+  sampling : Pp_vm.Sampling.t option;
+      (** the sampled-instrumentation controller, when [prepare] was
+          given one (installed on [vm]; its toggles work mid-run) *)
 }
 
 (** Instrument for [mode], build a VM, register the runtime tables and
@@ -38,7 +41,14 @@ type session = {
 
     [engine] selects the execution tier for {!run} (default
     {!Pp_vm.Engine.default}); both tiers are certified byte-identical by
-    the differential suite, so the choice only affects speed. *)
+    the differential suite, so the choice only affects speed.
+
+    [sampling] installs a {!Pp_vm.Sampling} controller
+    ({!Pp_vm.Interp.set_sampling}) and forces [array_threshold] to [0] in
+    [options], so every path table uses a runtime-dispatched (and thus
+    gateable) hash or CCT commit instead of inline array updates.
+    Compare sampled sessions against an exhaustive session prepared with
+    the same zero-threshold options. *)
 val prepare :
   ?options:Instrument.options ->
   ?pruner:Instrument.pruner ->
@@ -48,6 +58,7 @@ val prepare :
   ?telemetry:Pp_telemetry.Trace.t ->
   ?telemetry_interval:int ->
   ?engine:Pp_vm.Engine.kind ->
+  ?sampling:Pp_vm.Sampling.t ->
   mode:Instrument.mode ->
   Pp_ir.Program.t ->
   session
@@ -72,6 +83,11 @@ val path_profile : session -> Profile.t
 
 (** The calling context tree, valid after {!run} in a context mode. *)
 val cct : session -> Pp_vm.Runtime.record_data Cct.t
+
+(** The sampling controller's per-procedure [(sampled, total)] commit
+    coverage, valid after {!run}; [[]] for unsampled sessions.  Attach to
+    saved shards so sampled profiles carry their scaling certificate. *)
+val coverage : session -> (string * (int * int)) list
 
 (** Reconstructed per-edge execution counts, valid after {!run} in
     [Edge_freq] mode: for each procedure, the plan and every CFG edge's

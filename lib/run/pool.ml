@@ -48,6 +48,7 @@ type job = {
   fd : Unix.file_descr;
   buf : Buffer.t;
   deadline : float option;
+  err : string;  (* temp file capturing the worker's stderr *)
 }
 
 let chunk = Bytes.create 65536
@@ -59,9 +60,23 @@ let chunk = Bytes.create 65536
    double-count when absorbed back. *)
 let spawn ~index ~deadline f x =
   let rd, wr = Unix.pipe ~cloexec:false () in
+  let err = Filename.temp_file "pp-pool" ".stderr" in
+  (* Flush before forking so the child never inherits half-written
+     parent output it could replay through the redirected channel. *)
+  flush stdout;
+  flush stderr;
   match Unix.fork () with
   | 0 ->
       Unix.close rd;
+      (* Concurrent workers sharing the parent's stderr tear each
+         other's (and the parent footer's) lines mid-write.  Each worker
+         writes to a private capture file instead; the parent replays it
+         in one atomic write at reap time. *)
+      (try
+         let efd = Unix.openfile err [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+         Unix.dup2 efd Unix.stderr;
+         Unix.close efd
+       with Unix.Unix_error _ -> ());
       let at_fork = Metrics.snapshot Metrics.default in
       let payload =
         match f x with
@@ -73,6 +88,7 @@ let spawn ~index ~deadline f x =
       let oc = Unix.out_channel_of_descr wr in
       output_bytes oc bytes;
       flush oc;
+      flush Stdlib.stderr;
       (* _exit semantics: skip at_exit/flushing of inherited channels, which
          would duplicate the parent's buffered output. *)
       Unix._exit 0
@@ -81,7 +97,7 @@ let spawn ~index ~deadline f x =
       (* Nonblocking so the parent can drain a readable pipe to EAGAIN
          without wedging on the last partial chunk. *)
       Unix.set_nonblock rd;
-      { index; pid; fd = rd; buf = Buffer.create 1024; deadline }
+      { index; pid; fd = rd; buf = Buffer.create 1024; deadline; err }
 
 (* Drain everything currently buffered in the pipe.  A single [read]
    returns an arbitrary prefix of the worker's payload — results larger
@@ -100,8 +116,28 @@ let drain job =
   in
   go ()
 
+(* Replay a reaped worker's captured stderr through the parent in a
+   single write, then drop the capture file.  Serializing through the
+   parent is what keeps concurrent workers' diagnostics line-atomic. *)
+let relay_stderr job =
+  (match
+     let ic = open_in_bin job.err in
+     let n = in_channel_length ic in
+     let s = really_input_string ic n in
+     close_in ic;
+     s
+   with
+  | "" -> ()
+  | s ->
+      flush stderr;
+      prerr_string s;
+      flush stderr
+  | exception Sys_error _ -> ());
+  try Sys.remove job.err with Sys_error _ -> ()
+
 let finish job results status =
   Unix.close job.fd;
+  relay_stderr job;
   (match status with
   | Unix.WEXITED 0 when Buffer.length job.buf > 0 -> (
       match Marshal.from_bytes (Buffer.to_bytes job.buf) 0 with
@@ -126,6 +162,7 @@ let kill_and_reap job results elapsed =
   (try Unix.kill job.pid Sys.sigkill with Unix.Unix_error _ -> ());
   ignore (Unix.waitpid [] job.pid);
   Unix.close job.fd;
+  relay_stderr job;
   results.(job.index) <- Some (Timed_out elapsed)
 
 let map_forked ~jobs ~timeout f xs =

@@ -68,7 +68,12 @@ val default_backoff : backoff
     (no closures); a torn or unreadable result is reported as [Crashed],
     never silently dropped.  Result pipes are drained with a loop — a
     payload larger than the pipe capacity arrives as many partial reads,
-    never torn. *)
+    never torn.
+
+    Worker stderr is serialized through the parent: each worker writes
+    to a private capture, replayed in one atomic write when the worker
+    is reaped, so concurrent workers' diagnostics (and the parent's
+    {!footer}) never interleave mid-line. *)
 val map : ?jobs:int -> ?timeout:float -> ('a -> 'b) -> 'a list -> 'b outcome list
 
 (** {!map} plus per-task wall times and outcome counts for the summary

@@ -67,6 +67,9 @@ type t = {
   mutable block_probe :
     (proc:string -> label:int -> frame:int -> iregs:int array -> unit)
     option;
+  (* Sampled instrumentation: gates the path-commit pseudo-ops in
+     [exec_prof], which both engines dispatch through. *)
+  mutable sampling : Sampling.t option;
   hot : hot;
 }
 
@@ -166,6 +169,7 @@ let create ?(config = Pp_machine.Config.default)
     tl_interval = 0;
     tl_next = 0;
     block_probe = None;
+    sampling = None;
     hot = { hooks = false };
   }
 
@@ -178,6 +182,11 @@ let refresh_hot t =
 let set_block_probe t probe =
   t.block_probe <- Some probe;
   refresh_hot t
+
+(* No [refresh_hot]: the gate sits inside [exec_prof], not in the
+   per-block hooks, so the compiled tier needs no extra polling. *)
+let set_sampling t s = t.sampling <- Some s
+let sampling t = t.sampling
 
 let enable_block_trace t ~capacity =
   if capacity <= 0 then invalid_arg "Interp.enable_block_trace: capacity";
@@ -482,6 +491,31 @@ and do_call t _image iregs fregs ~callee_idx ~args ~fas ~ret =
 
 and exec_prof t ~proc_name ~op_addr ~fp iregs op =
   let rt = t.runtime in
+  let gated =
+    match t.sampling with
+    | None -> false
+    | Some s -> (
+        (* Only table commits gate.  The CCT protocol ops must stay
+           paired (enter/exit maintain the shadow stack and the gCSP
+           save/restore discipline), so they never gate. *)
+        match op with
+        | I.Path_commit_hash _ | I.Path_commit_hash_hw _
+        | I.Path_commit_cct _ ->
+            not (Sampling.decide s ~proc:proc_name)
+        | I.Cct_enter _ | I.Cct_exit | I.Cct_call _ | I.Cct_metric_enter
+        | I.Cct_metric_exit | I.Cct_metric_backedge ->
+            false)
+  in
+  if gated then (
+    match op with
+    | I.Path_commit_hash_hw _ ->
+        (* A skipped hardware commit still re-anchors the PICs (the real
+           patched-out probe would, and it costs no machine events), so
+           the counter deltas every later commit reads are identical to
+           an exhaustive run's. *)
+        Counters.zero_pics (Machine.counters t.machine)
+    | _ -> ())
+  else
   match op with
   | I.Cct_enter { nsites; _ } ->
       Runtime.cct_enter rt ~proc_name ~nsites ~op_addr ~fp

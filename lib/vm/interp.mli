@@ -86,6 +86,21 @@ val enable_sampling : t -> interval:int -> unit
     included) with their hit counts; valid after {!run}. *)
 val samples : t -> (string list * int) list
 
+(** {2 Sampled instrumentation}
+
+    A {!Sampling} controller gates the path-commit pseudo-ops: a gated-off
+    commit skips its {!Runtime} dispatch entirely (no machine charges, no
+    table write), except that a skipped hardware commit still re-anchors
+    the PICs so counter state stays identical to an exhaustive run.  The
+    gate sits in the shared prof dispatch, so it covers both engines.
+    Install before {!run}; the controller's toggles ({!Sampling.set_duty},
+    {!Sampling.set_enabled}) take effect mid-run. *)
+
+val set_sampling : t -> Sampling.t -> unit
+
+(** The installed controller, if any. *)
+val sampling : t -> Sampling.t option
+
 (** {2 Block-entry probe}
 
     Invoked on every block entry with the executing procedure, block

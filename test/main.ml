@@ -28,6 +28,8 @@ let () =
       ("mutation", Test_mutation.suite);
       ("absint", Test_absint.suite);
       ("merge", Test_merge.suite);
+      ("sampled", Test_sampled.suite);
+      ("serve", Test_serve.suite);
       ("parallel", Test_parallel.suite);
       ("telemetry", Test_telemetry.suite);
       ("faults", Test_faults.suite);

@@ -62,10 +62,12 @@ let saved () =
           ("gamma", 4, [ (3, pm 11 6 2) ]);
         ];
       feasible = [ ("alpha", 6); ("beta", 12) ];
+      coverage = [ ("beta", (13, 40)) ];
     }
 
 let records_of (s : Profile_io.saved) =
   List.length s.Profile_io.feasible
+  + List.length s.Profile_io.coverage
   + List.fold_left
       (fun acc (_, _, paths) -> acc + 1 + List.length paths)
       0 s.Profile_io.procs
