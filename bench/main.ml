@@ -53,6 +53,10 @@ let targets : (string * string * (unit -> unit)) list =
     ( "serve",
       "sampled accuracy vs overhead frontier (writes BENCH_serve.json)",
       Serve.run );
+    ( "pgo",
+      "profile-guided optimization payoff, CCT vs flat (writes \
+       BENCH_pgo.json)",
+      Pgo.run );
   ]
 
 let list_targets () =

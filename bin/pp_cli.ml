@@ -2135,6 +2135,233 @@ let chaos_cmd =
       const action $ file $ workload_opt $ budget $ mode $ shards $ jobs
       $ retries $ timeout $ seed $ kind $ dir $ engine_opt $ telemetry_opt)
 
+(* --- pp optimize --- *)
+
+let source_conv = Arg.enum [ ("cct", `Cct); ("flat", `Flat) ]
+
+let optimize_cmd =
+  let doc =
+    "Profile-guided optimization: profile the program (per-path hardware \
+     metrics plus the calling context tree), then apply superblock \
+     layout, hot/cold splitting, context-driven inlining, straightening \
+     and cache-conscious global data placement; re-measure and report.  \
+     --source flat is the ablation baseline: the same pipeline driven by \
+     an edge profile only (gprof-style per-callee totals, greedy block \
+     order)."
+  in
+  let action file workload budget source engine out_file json_flag certify
+      no_layout no_split no_straighten no_inline no_data inline_budget =
+    let engine = parse_engine engine in
+    require_positive ~flag:"budget" budget;
+    require_positive ~flag:"inline-budget" inline_budget;
+    match load ~file ~workload with
+    | Error msg -> exit_err msg
+    | Ok prog ->
+        let profile_session mode =
+          let session =
+            Driver.prepare ~pruner:Pp_analysis.Feasibility.pruner
+              ~max_instructions:budget ~engine ~mode prog
+          in
+          (match Driver.run session with
+          | exception Interp.Trap msg -> exit_err ("trap: " ^ msg)
+          | _ -> ());
+          session
+        in
+        let summary =
+          match source with
+          | `Cct ->
+              let flow = profile_session Instrument.Flow_hw in
+              let ctx = profile_session Instrument.Context_flow in
+              Pp_opt.Summary.of_paths ~cct:(Driver.cct ctx) prog
+                (Driver.path_profile flow)
+          | `Flat ->
+              let edge = profile_session Instrument.Edge_freq in
+              let counts =
+                List.map
+                  (fun (proc, plan, edges) ->
+                    (proc, Pp_opt.Summary.block_counts plan edges))
+                  (Driver.edge_profile edge)
+              in
+              Pp_opt.Summary.of_edges prog counts
+        in
+        let knobs =
+          {
+            Pp_opt.Pgo.default_knobs with
+            Pp_opt.Pgo.layout = not no_layout;
+            split_cold = not no_split;
+            straighten = not no_straighten;
+            inline = not no_inline;
+            data = not no_data;
+            inline_budget_slots = inline_budget;
+          }
+        in
+        let measure p =
+          match Driver.run_baseline ~max_instructions:budget ~engine p with
+          | r -> r
+          | exception Interp.Trap msg -> exit_err ("trap: " ^ msg)
+        in
+        let base = measure prog in
+        (* The empirical guard for data placement: a candidate placement
+           is kept only if the program's behaviour is unchanged (see
+           Pgo.optimize). *)
+        let validate p =
+          match Driver.run_baseline ~max_instructions:budget ~engine p with
+          | r -> r.Interp.output = base.Interp.output
+          | exception Interp.Trap _ -> false
+        in
+        let optimized, report =
+          Pp_opt.Pgo.optimize ~knobs ~validate ~summary prog
+        in
+        Option.iter
+          (fun path ->
+            write_file path (Pp_ir.Ir_text.to_string optimized);
+            Printf.eprintf "pp: wrote optimized IR to %s\n" path)
+          out_file;
+        let opt = measure optimized in
+        if opt.Interp.output <> base.Interp.output then
+          exit_err "optimized program produced different output";
+        let counter e (r : Interp.result) =
+          Option.value ~default:0 (List.assoc_opt e r.Interp.counters)
+        in
+        let dm_b = counter Event.Dcache_misses base
+        and dm_o = counter Event.Dcache_misses opt
+        and im_b = counter Event.Icache_misses base
+        and im_o = counter Event.Icache_misses opt in
+        if json_flag then
+          Printf.printf
+            "{\"source\":\"%s\",\"cycles_before\":%d,\"cycles_after\":%d,\
+             \"dcache_misses_before\":%d,\"dcache_misses_after\":%d,\
+             \"icache_misses_before\":%d,\"icache_misses_after\":%d,\
+             \"inlined_sites\":%d,\"merged_blocks\":%d,\
+             \"reordered_procs\":%d,\"moved_globals\":%d,\
+             \"data_dropped\":%b,\"size_before_slots\":%d,\
+             \"size_after_slots\":%d}\n"
+            (match source with `Cct -> "cct" | `Flat -> "flat")
+            base.Interp.cycles opt.Interp.cycles dm_b dm_o im_b im_o
+            (List.length report.Pp_opt.Pgo.inlined)
+            report.Pp_opt.Pgo.merged_blocks report.Pp_opt.Pgo.reordered_procs
+            report.Pp_opt.Pgo.moved_globals report.Pp_opt.Pgo.data_dropped
+            report.Pp_opt.Pgo.size_before_slots
+            report.Pp_opt.Pgo.size_after_slots
+        else begin
+          Format.printf "%a@." Pp_opt.Pgo.pp_report report;
+          Printf.printf "cycles          %12d -> %-12d (%+.2f%%)\n"
+            base.Interp.cycles opt.Interp.cycles
+            (100.0
+            *. float_of_int (opt.Interp.cycles - base.Interp.cycles)
+            /. float_of_int (max 1 base.Interp.cycles));
+          Printf.printf "D-cache misses  %12d -> %-12d\n" dm_b dm_o;
+          Printf.printf "I-cache misses  %12d -> %-12d\n" im_b im_o
+        end;
+        if certify then begin
+          let failures = ref 0 in
+          List.iter
+            (fun (_, mode) ->
+              match Instrument.run ~mode optimized with
+              | exception Ball_larus.Unsupported msg ->
+                  incr failures;
+                  Printf.eprintf "pp: certify %s: cannot instrument: %s\n"
+                    (Instrument.mode_name mode)
+                    msg
+              | instrumented, manifest ->
+                  let diags =
+                    Pp_analysis.Verifier.verify_program ~original:optimized
+                      ~manifest instrumented
+                    @ Pp_analysis.Verifier.prove_program ~budget
+                        ~original:optimized ~manifest instrumented
+                  in
+                  if diags <> [] then begin
+                    incr failures;
+                    Printf.eprintf "pp: certify %s: %d errors\n"
+                      (Instrument.mode_name mode)
+                      (List.length diags);
+                    List.iter
+                      (fun d ->
+                        Printf.eprintf "  %s\n" (Pp_ir.Diag.to_string d))
+                      diags
+                  end)
+            mode_assoc;
+          let outcomes =
+            List.map
+              (fun (_, mode) ->
+                match Predict_run.run ~budget ~engine ~mode optimized with
+                | o -> o
+                | exception Interp.Trap msg -> exit_err ("trap: " ^ msg))
+              mode_assoc
+          in
+          List.iter
+            (fun o ->
+              List.iter
+                (fun e -> Printf.eprintf "pp: certify predict: %s\n" e)
+                (Predict_run.errors o))
+            outcomes;
+          let predict_exit = Predict_run.exit_code outcomes in
+          if !failures > 0 || predict_exit <> 0 then exit 2;
+          Printf.printf
+            "certified: check, prove and predict pass on the optimized \
+             program (all 5 modes)\n"
+        end
+  in
+  let source =
+    Arg.(value & opt source_conv `Cct
+         & info [ "source" ] ~docv:"SOURCE"
+             ~doc:"Profile information driving the optimizer: 'cct' \
+                   (context-sensitive: per-path hardware metrics + calling \
+                   context tree) or 'flat' (edge profile only — the \
+                   ablation baseline).")
+  in
+  let out_file =
+    Arg.(value & opt (some string) None
+         & info [ "output"; "o" ] ~docv:"FILE"
+             ~doc:"Write the optimized program as textual IR (.ppir), \
+                   reloadable by every other subcommand.")
+  in
+  let json_flag =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Print the report as one JSON object.")
+  in
+  let certify =
+    Arg.(value & flag
+         & info [ "certify" ]
+             ~doc:"After optimizing, re-certify the transformed program: \
+                   instrument it in all five modes and run the full 'pp \
+                   check' verifier, the 'pp prove' abstract-interpretation \
+                   certifier and the 'pp predict' interval re-validation \
+                   on it.  Exits 2 on any failure.")
+  in
+  let no_layout =
+    Arg.(value & flag
+         & info [ "no-layout" ] ~doc:"Disable superblock block reordering.")
+  in
+  let no_split =
+    Arg.(value & flag
+         & info [ "no-split" ]
+             ~doc:"Disable hot/cold splitting (cold blocks stay in place).")
+  in
+  let no_straighten =
+    Arg.(value & flag
+         & info [ "no-straighten" ]
+             ~doc:"Disable single-predecessor jump-chain merging.")
+  in
+  let no_inline =
+    Arg.(value & flag
+         & info [ "no-inline" ] ~doc:"Disable hot call-edge inlining.")
+  in
+  let no_data =
+    Arg.(value & flag
+         & info [ "no-data" ] ~doc:"Disable global data placement.")
+  in
+  let inline_budget =
+    Arg.(value & opt int Pp_opt.Pgo.default_knobs.Pp_opt.Pgo.inline_budget_slots
+         & info [ "inline-budget" ] ~docv:"SLOTS"
+             ~doc:"Total instruction slots inlining may copy, program-wide.")
+  in
+  Cmd.v (Cmd.info "optimize" ~doc)
+    Term.(
+      const action $ file $ workload_opt $ budget $ source $ engine_opt
+      $ out_file $ json_flag $ certify $ no_layout $ no_split $ no_straighten
+      $ no_inline $ no_data $ inline_budget)
+
 (* --- pp workloads --- *)
 
 let workloads_cmd =
@@ -2157,6 +2384,6 @@ let () =
   let info = Cmd.info "pp" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
                     [ run_cmd; profile_cmd; paths_cmd; cost_cmd; disasm_cmd;
-                      check_cmd; prove_cmd; bench_cmd; merge_cmd; serve_cmd;
-                      trace_cmd; overhead_cmd; predict_cmd; chaos_cmd;
-                      workloads_cmd ]))
+                      check_cmd; prove_cmd; optimize_cmd; bench_cmd;
+                      merge_cmd; serve_cmd; trace_cmd; overhead_cmd;
+                      predict_cmd; chaos_cmd; workloads_cmd ]))

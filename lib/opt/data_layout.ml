@@ -1,0 +1,24 @@
+open Pp_ir
+
+let order ~heat (prog : Program.t) =
+  let h g =
+    Option.value ~default:0 (List.assoc_opt g.Program.gname heat)
+  in
+  let globals = Array.to_list prog.Program.globals in
+  List.stable_sort (fun a b -> compare (h b) (h a)) globals
+
+let moved ~heat (prog : Program.t) =
+  let reordered = order ~heat prog in
+  let n = ref 0 in
+  List.iteri
+    (fun i g ->
+      if prog.Program.globals.(i).Program.gname <> g.Program.gname then incr n)
+    reordered;
+  !n
+
+let place ~heat (prog : Program.t) =
+  if moved ~heat prog = 0 then prog
+  else
+    Program.make
+      ~procs:(Array.to_list prog.Program.procs)
+      ~globals:(order ~heat prog) ~main:prog.Program.main

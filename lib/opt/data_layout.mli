@@ -1,0 +1,21 @@
+(** Cache-conscious placement of the global data segment.
+
+    {!Pp_ir.Layout} assigns globals their simulated addresses in
+    declaration order from [data_base], and the modelled L1 D-cache is
+    direct-mapped: two globals whose addresses coincide modulo the cache
+    size thrash each other's lines.  Reordering the declaration list is
+    therefore a data-placement decision.  {!place} packs globals by
+    descending measured heat (per-path D-miss attribution, see
+    {!Summary}), which makes the hot set contiguous — hot globals can
+    then only conflict if the hot set itself outgrows the cache — while
+    cold globals keep their relative order at the end.  Pure reordering:
+    contents, sizes and initialisers are untouched, so any program that
+    addresses globals by name (the only way the IR can) is unaffected. *)
+
+(** [place ~heat prog] reorders [prog]'s globals by descending heat
+    (stable: unmeasured or equally hot globals keep declaration order).
+    Returns [prog] itself when the order is already optimal. *)
+val place : heat:(string * int) list -> Pp_ir.Program.t -> Pp_ir.Program.t
+
+(** The number of globals whose position [place] would change. *)
+val moved : heat:(string * int) list -> Pp_ir.Program.t -> int

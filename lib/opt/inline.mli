@@ -1,0 +1,51 @@
+(** Budgeted inlining of hot call edges.
+
+    On this machine model a call costs one fetched [Call] slot and one
+    fetched [Ret] slot (there is no stack-linkage memory traffic), while
+    an inlined body pays one [Imov]/[Fmov] per argument and one move for a
+    used return value; the [Jmp]s stitching the copied body in are
+    normally erased by a following {!Reorder.straighten}.  {!plan}
+    therefore only accepts sites whose per-call saving
+    [2 - arguments - result] is non-negative — the residual win is
+    I-cache density: the hot callee's code becomes contiguous with its
+    hot caller.
+
+    A [Summary.Context_sensitive] summary plans from measured CCT edges
+    — each (caller, site, callee) triple's own call count — while a
+    [Summary.Flat] summary has only per-callee totals, so every site of
+    a hot callee looks equally hot: the gprof misattribution, preserved
+    deliberately for the ablation. *)
+
+(** One accepted inlining site. *)
+type decision = {
+  caller : string;
+  site : Pp_ir.Instr.site;  (** the call site in the {e original} caller *)
+  callee : string;
+  calls : int;  (** measured (context-sensitive) or attributed (flat) *)
+}
+
+(** [plan ~summary ~max_callee_slots ~min_calls ~budget_slots prog] picks
+    sites greedily by descending call count: direct calls only, callee
+    distinct from caller, callee no larger than [max_callee_slots], at
+    least [min_calls] measured calls, non-negative per-call saving, and
+    total copied slots within [budget_slots]. *)
+val plan :
+  summary:Summary.t ->
+  max_callee_slots:int ->
+  min_calls:int ->
+  budget_slots:int ->
+  Pp_ir.Program.t ->
+  decision list
+
+(** [apply ?weights prog decisions] splices each decision's callee body
+    into its caller: arguments become register moves, the callee's
+    registers and labels are renamed into the caller, [Frameaddr] offsets
+    shift past the caller's frame, returns become jumps to the
+    continuation, and call sites are renumbered densely.  When given,
+    [weights] (per-procedure block weights, as mutated state) is extended
+    in step so later layout passes see the copied blocks' heat. *)
+val apply :
+  ?weights:(string, int array) Hashtbl.t ->
+  Pp_ir.Program.t ->
+  decision list ->
+  Pp_ir.Program.t

@@ -1,0 +1,171 @@
+open Pp_ir
+
+type knobs = {
+  layout : bool;
+  split_cold : bool;
+  straighten : bool;
+  inline : bool;
+  data : bool;
+  inline_budget_slots : int;
+  inline_max_callee_slots : int;
+  inline_min_calls : int;
+}
+
+let default_knobs =
+  {
+    layout = true;
+    split_cold = true;
+    straighten = true;
+    inline = true;
+    data = true;
+    inline_budget_slots = 512;
+    inline_max_callee_slots = 48;
+    inline_min_calls = 8;
+  }
+
+type report = {
+  inlined : Inline.decision list;
+  merged_blocks : int;
+  reordered_procs : int;
+  moved_globals : int;
+  data_dropped : bool;
+  size_before_slots : int;
+  size_after_slots : int;
+}
+
+let rec dedup_consecutive = function
+  | a :: (b :: _ as tl) when a = b -> dedup_consecutive tl
+  | a :: tl -> a :: dedup_consecutive tl
+  | [] -> []
+
+let optimize ?(knobs = default_knobs) ?validate ~(summary : Summary.t) prog =
+  let weights = Hashtbl.create 16 in
+  let hot = Hashtbl.create 16 in
+  List.iter
+    (fun (name, (ps : Summary.proc_summary)) ->
+      Hashtbl.replace weights name (Array.copy ps.Summary.weights);
+      Hashtbl.replace hot name ps.Summary.hot_path)
+    summary.Summary.procs;
+  let size_before = Program.size_slots prog in
+  let inlined, prog =
+    if knobs.inline then begin
+      let ds =
+        Inline.plan ~summary
+          ~max_callee_slots:knobs.inline_max_callee_slots
+          ~min_calls:knobs.inline_min_calls
+          ~budget_slots:knobs.inline_budget_slots prog
+      in
+      (ds, Inline.apply ~weights prog ds)
+    end
+    else ([], prog)
+  in
+  let merged = ref 0 in
+  let prog =
+    if knobs.straighten then
+      Program.map_procs
+        (fun p ->
+          let p', map = Reorder.straighten p in
+          merged := !merged + (Proc.num_blocks p - Proc.num_blocks p');
+          (match Hashtbl.find_opt weights p.Proc.name with
+          | Some w ->
+              let w' = Array.make (Proc.num_blocks p') 0 in
+              Array.iteri
+                (fun old wv ->
+                  if old < Array.length map then begin
+                    let nl = map.(old) in
+                    if nl >= 0 && nl < Array.length w' then
+                      w'.(nl) <- max w'.(nl) wv
+                  end)
+                w;
+              Hashtbl.replace weights p.Proc.name w'
+          | None -> ());
+          (match Hashtbl.find_opt hot p.Proc.name with
+          | Some hp ->
+              let hp' =
+                List.filter_map
+                  (fun l ->
+                    if l >= 0 && l < Array.length map then Some map.(l)
+                    else None)
+                  hp
+                |> dedup_consecutive
+              in
+              Hashtbl.replace hot p.Proc.name hp'
+          | None -> ());
+          p')
+        prog
+    else prog
+  in
+  let reordered = ref 0 in
+  let prog =
+    if knobs.layout then
+      Program.map_procs
+        (fun p ->
+          match Hashtbl.find_opt weights p.Proc.name with
+          | Some w when Array.length w = Proc.num_blocks p ->
+              let hp =
+                Option.value ~default:[] (Hashtbl.find_opt hot p.Proc.name)
+              in
+              let order =
+                Reorder.layout_order ~weights:w ~hot_path:hp
+                  ~split_cold:knobs.split_cold p
+              in
+              let identity = ref true in
+              Array.iteri (fun i l -> if i <> l then identity := false) order;
+              if !identity then p
+              else begin
+                incr reordered;
+                Reorder.permute p ~order
+              end
+          | Some _ | None -> p)
+        prog
+    else prog
+  in
+  (* Data placement is the one pass whose safety depends on a program
+     property the IR cannot check statically (no access strays past its
+     global into a neighbour), so it is guarded by the caller's
+     empirical [validate] oracle and dropped when rejected. *)
+  let moved_globals, data_dropped, prog =
+    if not knobs.data then (0, false, prog)
+    else
+      let heat = summary.Summary.global_heat in
+      let moved = Data_layout.moved ~heat prog in
+      if moved = 0 then (0, false, prog)
+      else
+        let placed = Data_layout.place ~heat prog in
+        match validate with
+        | Some ok when not (ok placed) -> (0, true, prog)
+        | Some _ | None -> (moved, false, placed)
+  in
+  Validate.run prog;
+  ( prog,
+    {
+      inlined;
+      merged_blocks = !merged;
+      reordered_procs = !reordered;
+      moved_globals;
+      data_dropped;
+      size_before_slots = size_before;
+      size_after_slots = Program.size_slots prog;
+    } )
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>inlined %d call site%s" (List.length r.inlined)
+    (if List.length r.inlined = 1 then "" else "s");
+  List.iter
+    (fun (d : Inline.decision) ->
+      Format.fprintf ppf "@,  %s site %d <- %s (%d calls)" d.Inline.caller
+        d.Inline.site d.Inline.callee d.Inline.calls)
+    r.inlined;
+  Format.fprintf ppf
+    "@,straightening merged %d block%s@,reordered blocks in %d procedure%s@,\
+     moved %d global%s%s@,code size %d -> %d slots@]"
+    r.merged_blocks
+    (if r.merged_blocks = 1 then "" else "s")
+    r.reordered_procs
+    (if r.reordered_procs = 1 then "" else "s")
+    r.moved_globals
+    (if r.moved_globals = 1 then "" else "s")
+    (if r.data_dropped then
+       " (placement dropped: program behaviour depends on global addresses)"
+     else "")
+    r.size_before_slots r.size_after_slots

@@ -1,0 +1,70 @@
+(** The profile-guided optimizer — [pp optimize]'s engine.
+
+    {!optimize} chains the four PGO transforms over a whole program, in
+    an order chosen so each pass feeds the next:
+
+    + {b inlining} ({!Inline}) of hot call edges, while the summary's
+      call-site numbering still matches the code;
+    + {b straightening} ({!Reorder.straighten}), which erases the [Jmp]s
+      inlining stitched in along with any single-predecessor chain the
+      source program already had;
+    + {b superblock layout and hot/cold splitting} ({!Reorder}), placing
+      each procedure's hottest Ball–Larus path fall-through and sinking
+      never-executed blocks — block weights and hot paths are remapped
+      through the two preceding passes;
+    + {b data placement} ({!Data_layout}), packing globals hot-first.
+
+    Every pass preserves observable behaviour (output, traps, printed
+    values); the result is re-validated, and downstream certification
+    ([pp check], [pp prove], [pp predict]) re-runs on the transformed
+    program as on any other.  A [Summary.Flat] summary exercises the
+    same pipeline on edge-profile information only — greedy block order
+    instead of path-based, per-callee totals instead of CCT edges —
+    which is the ablation baseline. *)
+
+type knobs = {
+  layout : bool;  (** superblock reordering *)
+  split_cold : bool;  (** sink never-executed blocks (needs [layout]) *)
+  straighten : bool;
+  inline : bool;
+  data : bool;  (** global data placement *)
+  inline_budget_slots : int;
+      (** total instruction slots inlining may copy, program-wide *)
+  inline_max_callee_slots : int;  (** largest callee considered *)
+  inline_min_calls : int;  (** coldest call edge considered *)
+}
+
+val default_knobs : knobs
+
+type report = {
+  inlined : Inline.decision list;
+  merged_blocks : int;  (** blocks erased by straightening *)
+  reordered_procs : int;  (** procedures whose block order changed *)
+  moved_globals : int;
+  data_dropped : bool;
+      (** data placement was undone because [validate] rejected it *)
+  size_before_slots : int;
+  size_after_slots : int;
+}
+
+(** [optimize ~summary prog] runs the enabled passes and returns the
+    transformed program with a report of what changed.  The result is
+    validated ({!Pp_ir.Validate.run}) before being returned.
+
+    The code transforms (inlining, straightening, layout) preserve
+    behaviour by construction.  Data placement does too for any program
+    whose accesses stay within each global's extent — but the IR cannot
+    rule out a computed index straying past a global into its neighbour,
+    and a program doing so observes the placement.  [validate], when
+    given, is the empirical guard: it receives the program with globals
+    reordered and must confirm behaviour is unchanged (e.g. by running
+    it and comparing output against the unoptimized baseline).  If it
+    returns [false], the placement is dropped — the other passes are
+    kept — and the report says so ([data_dropped]).  Without [validate],
+    placement is applied unconditionally. *)
+val optimize :
+  ?knobs:knobs -> ?validate:(Pp_ir.Program.t -> bool) ->
+  summary:Summary.t -> Pp_ir.Program.t ->
+  Pp_ir.Program.t * report
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,118 @@
+open Pp_ir
+
+let permute (p : Proc.t) ~order =
+  let n = Proc.num_blocks p in
+  if Array.length order <> n then
+    invalid_arg
+      (Printf.sprintf "Reorder.permute(%s): order has %d entries for %d blocks"
+         p.Proc.name (Array.length order) n);
+  let inv = Array.make n (-1) in
+  Array.iteri
+    (fun pos old ->
+      if old < 0 || old >= n || inv.(old) <> -1 then
+        invalid_arg
+          (Printf.sprintf "Reorder.permute(%s): not a permutation" p.Proc.name);
+      inv.(old) <- pos)
+    order;
+  let map_term = function
+    | Block.Jmp l -> Block.Jmp inv.(l)
+    | Block.Br (r, t, f) -> Block.Br (r, inv.(t), inv.(f))
+    | Block.Ret v -> Block.Ret v
+  in
+  let blocks =
+    Array.init n (fun pos ->
+        let b = p.Proc.blocks.(order.(pos)) in
+        { Block.label = pos; instrs = b.Block.instrs; term = map_term b.Block.term })
+  in
+  Proc.with_blocks ~entry:inv.(p.Proc.entry) p blocks
+
+let layout_order ~weights ~hot_path ~split_cold (p : Proc.t) =
+  let n = Proc.num_blocks p in
+  if Array.length weights <> n then
+    invalid_arg
+      (Printf.sprintf "Reorder.layout_order(%s): %d weights for %d blocks"
+         p.Proc.name (Array.length weights) n);
+  let placed = Array.make n false in
+  let out = ref [] in
+  let put l =
+    if l >= 0 && l < n && not placed.(l) then begin
+      placed.(l) <- true;
+      out := l :: !out
+    end
+  in
+  List.iter put hot_path;
+  let rest = List.filter (fun l -> not placed.(l)) (List.init n Fun.id) in
+  let warm, cold =
+    if split_cold then List.partition (fun l -> weights.(l) > 0) rest
+    else (rest, [])
+  in
+  let by_weight =
+    List.stable_sort (fun a b -> compare weights.(b) weights.(a)) warm
+  in
+  List.iter put by_weight;
+  List.iter put cold;
+  Array.of_list (List.rev !out)
+
+let straighten (p : Proc.t) =
+  let n = Proc.num_blocks p in
+  let instrs = Array.map (fun (b : Block.t) -> b.Block.instrs) p.Proc.blocks in
+  let terms = Array.map (fun (b : Block.t) -> b.Block.term) p.Proc.blocks in
+  let preds = Array.make n 0 in
+  Array.iter
+    (fun (b : Block.t) ->
+      List.iter (fun s -> preds.(s) <- preds.(s) + 1) (Block.successors b))
+    p.Proc.blocks;
+  (* The procedure entry has an implicit predecessor. *)
+  preds.(p.Proc.entry) <- preds.(p.Proc.entry) + 1;
+  let target = Array.init n Fun.id in
+  let rec find l =
+    if target.(l) = l then l
+    else begin
+      let r = find target.(l) in
+      target.(l) <- r;
+      r
+    end
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for b = 0 to n - 1 do
+      if find b = b then
+        match terms.(b) with
+        | Block.Jmp c when c <> b && preds.(c) = 1 && find c = c ->
+            (* [c]'s single CFG reference is this Jmp, so absorbing its
+               code into [b] removes one fetched terminator per
+               traversal. *)
+            instrs.(b) <- instrs.(b) @ instrs.(c);
+            terms.(b) <- terms.(c);
+            target.(c) <- b;
+            changed := true
+        | _ -> ()
+    done
+  done;
+  let map = Array.make n (-1) in
+  let next = ref 0 in
+  for l = 0 to n - 1 do
+    if find l = l then begin
+      map.(l) <- !next;
+      incr next
+    end
+  done;
+  for l = 0 to n - 1 do
+    if map.(l) = -1 then map.(l) <- map.(find l)
+  done;
+  let map_term = function
+    | Block.Jmp l -> Block.Jmp map.(l)
+    | Block.Br (r, t, f) -> Block.Br (r, map.(t), map.(f))
+    | Block.Ret v -> Block.Ret v
+  in
+  let dummy =
+    { Block.label = 0; instrs = []; term = Block.Ret Block.Ret_void }
+  in
+  let blocks = Array.make !next dummy in
+  for l = 0 to n - 1 do
+    if find l = l then
+      blocks.(map.(l)) <-
+        { Block.label = map.(l); instrs = instrs.(l); term = map_term terms.(l) }
+  done;
+  (Proc.with_blocks ~entry:map.(p.Proc.entry) p blocks, map)

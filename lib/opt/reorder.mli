@@ -1,0 +1,46 @@
+(** Profile-guided basic-block placement.
+
+    Three transforms over a single procedure, all semantics-preserving
+    (same outputs, traps and instruction stream up to code addresses):
+
+    - {!permute} relabels blocks under an arbitrary permutation.  Because
+      {!Pp_ir.Layout} assigns addresses in label order, a permutation
+      {e is} a code layout.
+    - {!layout_order} computes the superblock order: the hottest
+      Ball–Larus path's blocks first (so the dominant path is
+      fall-through and I-cache dense), then the rest by execution weight,
+      with never-executed blocks sunk to the end (hot/cold splitting).
+      With an empty [hot_path] this degrades to the greedy
+      count-descending order a flat edge profile supports — the ablation
+      baseline.
+    - {!straighten} merges single-predecessor [Jmp] chains, eliminating
+      one terminator fetch per traversal — the one transform with an
+      unconditional cycle win on this machine model.
+
+    Call-site numbers are untouched: {!Pp_ir.Proc} requires sites to be a
+    permutation of [0..nsites-1], not any particular order. *)
+
+(** [permute p ~order] rebuilds [p] with [order.(i)] as the new block [i];
+    terminators and the entry label are rewritten accordingly.
+    @raise Invalid_argument unless [order] is a permutation of the block
+    labels. *)
+val permute : Pp_ir.Proc.t -> order:Pp_ir.Block.label array -> Pp_ir.Proc.t
+
+(** [layout_order ~weights ~hot_path ~split_cold p] is the profile-guided
+    block order: [hot_path] first (deduplicated), remaining blocks by
+    descending [weights] (stable on ties), and — when [split_cold] —
+    blocks with zero weight last, in label order.
+    @raise Invalid_argument if [weights] has the wrong length. *)
+val layout_order :
+  weights:int array ->
+  hot_path:Pp_ir.Block.label list ->
+  split_cold:bool ->
+  Pp_ir.Proc.t ->
+  Pp_ir.Block.label array
+
+(** [straighten p] merges every block ending in [Jmp c] with its target
+    while [c] is not the entry and [b] is [c]'s only predecessor, to a
+    fixpoint, then compacts labels.  Returns the rewritten procedure and
+    a map from old label to the new label of the block now holding that
+    code. *)
+val straighten : Pp_ir.Proc.t -> Pp_ir.Proc.t * int array
